@@ -1,0 +1,160 @@
+// Command csq (client-server query) regenerates the tables and figures of
+// "Performance Tradeoffs for Client-Server Query Processing" (SIGMOD 1996).
+//
+// Usage:
+//
+//	csq run all                 # every figure (slow: full sweeps)
+//	csq run fig2 fig3           # specific figures
+//	csq run -quick -reps 3 fig8 # thinner sweep, fewer repetitions
+//	csq list                    # what can be reproduced
+//
+// Output is a text table per figure: one row per x value, one "mean ±90% CI"
+// column per series — the same rows the paper plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"hybridship/internal/experiments"
+)
+
+var figures = map[string]struct {
+	desc string
+	run  func(experiments.Config) (*experiments.Figure, error)
+}{
+	"fig2":  {"pages sent, 2-way join, vary caching", experiments.Config.Fig2},
+	"fig3":  {"response time, 2-way join, vary caching, min alloc", experiments.Config.Fig3},
+	"fig4":  {"response time, DS, vary server load and caching", experiments.Config.Fig4},
+	"fig5":  {"response time, 2-way join, vary caching, max alloc", experiments.Config.Fig5},
+	"fig6":  {"pages sent, 10-way join, vary servers", experiments.Config.Fig6},
+	"fig7":  {"pages sent, 10-way join, vary servers, 5 relations cached", experiments.Config.Fig7},
+	"fig8":  {"response time, 10-way join, vary servers, min alloc", experiments.Config.Fig8},
+	"fig10": {"relative response time, static vs 2-step, deep vs bushy", experiments.Config.Fig10},
+	"fig11": {"same as fig10 for the HiSel query", experiments.Config.Fig11},
+	// Extensions beyond the paper's figures.
+	"crossover":  {"extension: DS/QS crossover vs join result size", experiments.Config.ExtCrossover},
+	"star":       {"extension: figure 8 for star joins", experiments.Config.ExtStar},
+	"aggregate":  {"extension: grouped aggregation vs policy traffic", experiments.Config.ExtAggregate},
+	"multiquery": {"extension: real concurrency vs the load approximation", experiments.Config.ExtMultiQuery},
+}
+
+var ablations = map[string]struct {
+	desc string
+	run  func(experiments.Config) ([]experiments.AblationResult, error)
+}{
+	"lookahead":     {"pipeline lookahead depth (1/4/16 pages)", experiments.Config.AblationLookahead},
+	"writecache":    {"disk write-back cache vs write-through", experiments.Config.AblationWriteCache},
+	"elevator":      {"SCAN vs FIFO disk scheduling under load", experiments.Config.AblationElevator},
+	"commutativity": {"optimizer join-commutativity move on/off", experiments.Config.AblationCommutativity},
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		list()
+	case "run":
+		runCmd(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  csq list
+  csq run [-reps N] [-seed S] [-quick] <fig2|fig3|...|fig9|fig10|fig11|all>...`)
+}
+
+func list() {
+	var names []string
+	for n := range figures {
+		names = append(names, n)
+	}
+	names = append(names, "fig9")
+	sort.Strings(names)
+	for _, n := range names {
+		if n == "fig9" {
+			fmt.Printf("  %-14s %s\n", n, "communication of static vs 2-step plans after data migration")
+			continue
+		}
+		fmt.Printf("  %-14s %s\n", n, figures[n].desc)
+	}
+	var abl []string
+	for n := range ablations {
+		abl = append(abl, n)
+	}
+	sort.Strings(abl)
+	for _, n := range abl {
+		fmt.Printf("  %-14s ablation: %s\n", n, ablations[n].desc)
+	}
+}
+
+func runCmd(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	reps := fs.Int("reps", 5, "repetitions per data point")
+	seed := fs.Int64("seed", 42, "random seed")
+	quick := fs.Bool("quick", false, "thin the parameter sweeps")
+	fs.Parse(args)
+
+	targets := fs.Args()
+	if len(targets) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if len(targets) == 1 && targets[0] == "all" {
+		targets = []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
+	}
+	cfg := experiments.Config{Reps: *reps, Seed: *seed, Quick: *quick}
+
+	for _, name := range targets {
+		start := time.Now()
+		if strings.EqualFold(name, "fig9") {
+			res, err := cfg.Fig9()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fig9: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("Figure 9: communication after data migration (pages sent)\n")
+			fmt.Printf("  static plan   %5d  (%.2fx of ideal)\n", res.StaticPages, float64(res.StaticPages)/float64(res.IdealPages))
+			fmt.Printf("  2-step plan   %5d  (%.2fx of ideal)\n", res.TwoStepPages, float64(res.TwoStepPages)/float64(res.IdealPages))
+			fmt.Printf("  ideal plan    %5d\n", res.IdealPages)
+			fmt.Printf("  [%s]\n\n", time.Since(start).Round(time.Millisecond))
+			continue
+		}
+		if a, ok := ablations[strings.ToLower(name)]; ok {
+			rows, err := a.run(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("Ablation %s: %s\n", name, a.desc)
+			for _, r := range rows {
+				fmt.Printf("  %-24s %8.2fs\n", r.Setting, r.ResponseTime)
+			}
+			fmt.Printf("  [%s]\n\n", time.Since(start).Round(time.Millisecond))
+			continue
+		}
+		f, ok := figures[strings.ToLower(name)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try: csq list)\n", name)
+			os.Exit(2)
+		}
+		fig, err := f.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(fig)
+		fmt.Printf("  [%s]\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

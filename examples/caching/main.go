@@ -1,0 +1,54 @@
+// Caching sweep: how client disk caching shifts the balance between
+// data-shipping and query-shipping, reproducing the tradeoff of Figures 2
+// and 3 of the paper on a single pair of relations.
+//
+// With no cached data, query-shipping halves the communication (it ships
+// only the join result); as more of the base relations are cached at the
+// client, data-shipping catches up and eventually ships nothing. The hybrid
+// policy tracks whichever is cheaper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridship"
+)
+
+func main() {
+	q := hybridship.Query{
+		Predicates: []hybridship.JoinPredicate{
+			{Left: "orders", Right: "customers", Selectivity: 1.0 / 10000},
+		},
+	}
+
+	fmt.Println("cached%      DS pages   QS pages   HY pages      DS rt     QS rt     HY rt")
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		sys, err := hybridship.NewSystem(hybridship.SystemConfig{Servers: 1}, []hybridship.Relation{
+			{Name: "orders", Tuples: 10000, TupleBytes: 100, Server: 0, Cached: frac},
+			{Name: "customers", Tuples: 10000, TupleBytes: 100, Server: 0, Cached: frac},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var pages [3]int64
+		var rts [3]float64
+		for i, pol := range []hybridship.Policy{
+			hybridship.DataShipping, hybridship.QueryShipping, hybridship.HybridShipping,
+		} {
+			pl, err := sys.Optimize(q, hybridship.OptimizeOptions{
+				Policy: pol, Metric: hybridship.MinimizePagesSent, Seed: 7,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := sys.Execute(q, pl, hybridship.ExecOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			pages[i], rts[i] = res.PagesSent, res.ResponseTime
+		}
+		fmt.Printf("%6.0f %12d %10d %10d %10.2f %9.2f %9.2f\n",
+			frac*100, pages[0], pages[1], pages[2], rts[0], rts[1], rts[2])
+	}
+}

@@ -1,0 +1,58 @@
+// Loaded server: when other clients hammer the server's disk, shipping data
+// to the client and processing it there wins — the effect of Figure 4 of the
+// paper.
+//
+// The example runs the same join against a server under increasing external
+// load (random reads per second, modeling other clients) and shows how
+// query-shipping degrades while data-shipping with a warm client cache is
+// insulated, and how the hybrid optimizer switches strategy when it is told
+// about the load.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridship"
+)
+
+func main() {
+	q := hybridship.Query{
+		Predicates: []hybridship.JoinPredicate{
+			{Left: "trades", Right: "accounts", Selectivity: 1.0 / 10000},
+		},
+	}
+	sys, err := hybridship.NewSystem(hybridship.SystemConfig{Servers: 1}, []hybridship.Relation{
+		{Name: "trades", Tuples: 10000, TupleBytes: 100, Server: 0, Cached: 1.0},
+		{Name: "accounts", Tuples: 10000, TupleBytes: 100, Server: 0, Cached: 1.0},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("load[req/s]    QS rt     DS rt     HY rt   HY policy chosen")
+	for _, load := range []float64{0, 40, 60, 70} {
+		var serverLoad map[int]float64
+		if load > 0 {
+			serverLoad = map[int]float64{0: load}
+		}
+		rt := func(pol hybridship.Policy) (float64, hybridship.Policy) {
+			pl, err := sys.Optimize(q, hybridship.OptimizeOptions{
+				Policy: pol, Metric: hybridship.MinimizeResponseTime,
+				Seed: 3, ServerLoad: serverLoad,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := sys.Execute(q, pl, hybridship.ExecOptions{ServerLoad: serverLoad, Seed: 9})
+			if err != nil {
+				log.Fatal(err)
+			}
+			return res.ResponseTime, pl.Policy()
+		}
+		qs, _ := rt(hybridship.QueryShipping)
+		ds, _ := rt(hybridship.DataShipping)
+		hy, chosen := rt(hybridship.HybridShipping)
+		fmt.Printf("%11.0f %8.2f %9.2f %9.2f   %v\n", load, qs, ds, hy, chosen)
+	}
+}

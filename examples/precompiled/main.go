@@ -1,0 +1,80 @@
+// Pre-compiled plans: compile a query once with the exhaustive System-R
+// style optimizer, store the plan as JSON, and later execute it on a system
+// whose state has drifted — either as-is, or after re-running site selection
+// (2-step optimization, §5 of the paper).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridship"
+)
+
+func main() {
+	q := hybridship.Query{
+		Predicates: []hybridship.JoinPredicate{
+			{Left: "orders", Right: "lineitem", Selectivity: 1e-4},
+			{Left: "lineitem", Right: "part", Selectivity: 1e-4},
+		},
+	}
+	relations := func(cached float64) []hybridship.Relation {
+		return []hybridship.Relation{
+			{Name: "orders", Tuples: 10000, TupleBytes: 100, Server: 0, Cached: cached},
+			{Name: "lineitem", Tuples: 10000, TupleBytes: 100, Server: 1, Cached: cached},
+			{Name: "part", Tuples: 10000, TupleBytes: 100, Server: 1, Cached: cached},
+		}
+	}
+
+	// Compile time: nothing cached. The exhaustive optimizer gives a
+	// deterministic, provably cheapest total-cost plan for this small query.
+	compileSys, err := hybridship.NewSystem(hybridship.SystemConfig{Servers: 2}, relations(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	compiled, err := compileSys.Optimize(q, hybridship.OptimizeOptions{
+		Policy:     hybridship.HybridShipping,
+		Metric:     hybridship.MinimizeTotalCost,
+		Exhaustive: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stored, err := compiled.MarshalJSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stored plan (%d bytes):\n%s\n", len(stored), compiled)
+
+	// Execution time, much later: the client now has everything cached.
+	runSys, err := hybridship.NewSystem(hybridship.SystemConfig{Servers: 2}, relations(1.0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := runSys.LoadPlan(q, stored)
+	if err != nil {
+		log.Fatal(err)
+	}
+	static, err := runSys.Execute(q, loaded, hybridship.ExecOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2-step: keep the join order, adapt the operator sites to exploit the
+	// warm client cache.
+	adapted, err := runSys.SiteSelect(q, loaded, hybridship.OptimizeOptions{
+		Policy: hybridship.HybridShipping,
+		Metric: hybridship.MinimizePagesSent,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	twoStep, err := runSys.Execute(q, adapted, hybridship.ExecOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("executed as stored:          %4d pages, %.2fs\n", static.PagesSent, static.ResponseTime)
+	fmt.Printf("after runtime site selection:%4d pages, %.2fs\n", twoStep.PagesSent, twoStep.ResponseTime)
+	fmt.Printf("adapted plan:\n%s", adapted)
+}

@@ -1,0 +1,3 @@
+module hybridship
+
+go 1.22

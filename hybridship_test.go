@@ -1,0 +1,389 @@
+package hybridship
+
+import (
+	"strings"
+	"testing"
+)
+
+func demoSystem(t testing.TB, servers int, cached float64) *System {
+	t.Helper()
+	sys, err := NewSystem(SystemConfig{Servers: servers, MaxAlloc: true}, []Relation{
+		{Name: "emp", Tuples: 10000, TupleBytes: 100, Server: 0, Cached: cached},
+		{Name: "dept", Tuples: 10000, TupleBytes: 100, Server: (servers - 1) % servers, Cached: cached},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func demoQuery() Query {
+	return Query{
+		Predicates: []JoinPredicate{{Left: "emp", Right: "dept", Selectivity: 1e-4}},
+	}
+}
+
+func TestOptimizeAndExecute(t *testing.T) {
+	sys := demoSystem(t, 2, 0)
+	q := demoQuery()
+	for _, pol := range []Policy{DataShipping, QueryShipping, HybridShipping} {
+		pl, err := sys.Optimize(q, OptimizeOptions{Policy: pol, Metric: MinimizeResponseTime, Seed: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		res, err := sys.Execute(q, pl, ExecOptions{})
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if res.ResultTuples != 10000 {
+			t.Errorf("%v: result = %d tuples, want 10000", pol, res.ResultTuples)
+		}
+		if res.ResponseTime <= 0 {
+			t.Errorf("%v: non-positive response time", pol)
+		}
+		if pl.EstimatedResponseTime() <= 0 {
+			t.Errorf("%v: non-positive estimate", pol)
+		}
+	}
+}
+
+func TestPolicyClassification(t *testing.T) {
+	sys := demoSystem(t, 2, 0)
+	q := demoQuery()
+	ds, err := sys.Optimize(q, OptimizeOptions{Policy: DataShipping, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.Policy(); got != DataShipping {
+		t.Errorf("DS plan classified as %v", got)
+	}
+	qs, err := sys.Optimize(q, OptimizeOptions{Policy: QueryShipping, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := qs.Policy(); got != QueryShipping {
+		t.Errorf("QS plan classified as %v", got)
+	}
+}
+
+func TestPlanRendering(t *testing.T) {
+	sys := demoSystem(t, 1, 0)
+	pl, err := sys.Optimize(demoQuery(), OptimizeOptions{Policy: QueryShipping, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := pl.String()
+	for _, want := range []string{"display", "join", "scan(emp)", "scan(dept)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("plan rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCachingAffectsCommunication(t *testing.T) {
+	q := demoQuery()
+	cold := demoSystem(t, 1, 0)
+	warm := demoSystem(t, 1, 1.0)
+	plCold, err := cold.Optimize(q, OptimizeOptions{Policy: DataShipping, Metric: MinimizePagesSent, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resCold, err := cold.Execute(q, plCold, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plWarm, err := warm.Optimize(q, OptimizeOptions{Policy: DataShipping, Metric: MinimizePagesSent, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resWarm, err := warm.Execute(q, plWarm, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resCold.PagesSent != 500 || resWarm.PagesSent != 0 {
+		t.Errorf("DS pages: cold %d (want 500), warm %d (want 0)", resCold.PagesSent, resWarm.PagesSent)
+	}
+}
+
+func TestSelectionsAndCustomJoinAttribute(t *testing.T) {
+	sys := demoSystem(t, 2, 0)
+	q := Query{
+		Predicates: []JoinPredicate{{Left: "emp", Right: "dept", Selectivity: 0.2 / 10000}},
+		// HiSel-style: only ids with 5*id < 10000 participate.
+		JoinAttribute: func(_ string, id int64) int64 { return 5 * id },
+	}
+	pl, err := sys.Optimize(q, OptimizeOptions{Policy: QueryShipping, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Execute(q, pl, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResultTuples != 2000 {
+		t.Errorf("HiSel 2-way result = %d, want 2000", res.ResultTuples)
+	}
+
+	q2 := Query{
+		Predicates: []JoinPredicate{{Left: "emp", Right: "dept", Selectivity: 1e-4}},
+		Selections: map[string]Selection{
+			"emp": {Selectivity: 0.25, Pass: func(id int64) bool { return id%4 == 0 }},
+		},
+	}
+	pl2, err := sys.Optimize(q2, OptimizeOptions{Policy: HybridShipping, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := sys.Execute(q2, pl2, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.ResultTuples != 2500 {
+		t.Errorf("selected result = %d, want 2500", res2.ResultTuples)
+	}
+}
+
+func TestSiteSelectKeepsJoinOrderAcrossSystems(t *testing.T) {
+	q := demoQuery()
+	// Compile against one placement, re-select sites against another.
+	compileSys := demoSystem(t, 1, 0)
+	pl, err := compileSys.Optimize(q, OptimizeOptions{Policy: HybridShipping, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSys := demoSystem(t, 2, 0.5)
+	pl2, err := runSys.SiteSelect(q, pl, OptimizeOptions{Policy: HybridShipping, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runSys.Execute(q, pl2, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResultTuples != 10000 {
+		t.Errorf("2-step executed result = %d, want 10000", res.ResultTuples)
+	}
+}
+
+func TestServerLoadSlowsExecution(t *testing.T) {
+	sys := demoSystem(t, 1, 0)
+	q := demoQuery()
+	pl, err := sys.Optimize(q, OptimizeOptions{Policy: QueryShipping, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sys.Execute(q, pl, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := sys.Execute(q, pl, ExecOptions{ServerLoad: map[int]float64{0: 60}, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.ResponseTime <= base.ResponseTime {
+		t.Errorf("server load did not slow QS: %.2f vs %.2f", loaded.ResponseTime, base.ResponseTime)
+	}
+}
+
+func TestInvalidInputsRejected(t *testing.T) {
+	if _, err := NewSystem(SystemConfig{Servers: 1}, []Relation{
+		{Name: "a", Tuples: 10, TupleBytes: 100, Server: 5},
+	}); err == nil {
+		t.Error("relation on nonexistent server accepted")
+	}
+	sys := demoSystem(t, 1, 0)
+	if _, err := sys.Optimize(Query{
+		Predicates: []JoinPredicate{{Left: "emp", Right: "ghost", Selectivity: 1e-4}},
+	}, OptimizeOptions{}); err == nil {
+		t.Error("query on undeclared relation accepted")
+	}
+	if _, err := sys.Optimize(Query{
+		Predicates: []JoinPredicate{{Left: "emp", Right: "dept", Selectivity: 7}},
+	}, OptimizeOptions{}); err == nil {
+		t.Error("selectivity > 1 accepted")
+	}
+}
+
+// TestDefaultConfigMatchesPaperTable2 pins the Table 2 defaults.
+func TestDefaultConfigMatchesPaperTable2(t *testing.T) {
+	c := SystemConfig{Servers: 1}.withDefaults()
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"Mips", c.Mips, 50},
+		{"PageSize", float64(c.PageSize), 4096},
+		{"NetBw", c.NetBwBits, 100e6},
+		{"MsgInst", c.MsgInst, 20000},
+		{"PerSizeMI", c.PerSizeMI, 12000},
+		{"Display", c.DisplayInst, 0},
+		{"Compare", c.CompareInst, 2},
+		{"HashInst", c.HashInst, 9},
+		{"MoveInst", c.MoveInst, 1},
+		{"DiskInst", c.DiskInst, 5000},
+	}
+	for _, cse := range cases {
+		if cse.got != cse.want {
+			t.Errorf("%s = %g, want %g (Table 2)", cse.name, cse.got, cse.want)
+		}
+	}
+}
+
+func TestExhaustiveOptimizer(t *testing.T) {
+	sys := demoSystem(t, 2, 0.5)
+	q := demoQuery()
+	pl, err := sys.Optimize(q, OptimizeOptions{
+		Policy: HybridShipping, Metric: MinimizeTotalCost, Exhaustive: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The DP result must not lose to any randomized run on the exact metric.
+	for seed := int64(1); seed <= 3; seed++ {
+		r, err := sys.Optimize(q, OptimizeOptions{
+			Policy: HybridShipping, Metric: MinimizeTotalCost, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.EstimatedTotalCost() < pl.EstimatedTotalCost()-1e-9 {
+			t.Errorf("randomized %.4f beat exhaustive %.4f", r.EstimatedTotalCost(), pl.EstimatedTotalCost())
+		}
+	}
+	res, err := sys.Execute(q, pl, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResultTuples != 10000 {
+		t.Errorf("exhaustive plan result = %d, want 10000", res.ResultTuples)
+	}
+}
+
+func TestPlanSerializationRoundTrip(t *testing.T) {
+	q := demoQuery()
+	compileSys := demoSystem(t, 2, 0)
+	pl, err := compileSys.Optimize(q, OptimizeOptions{Policy: HybridShipping, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := pl.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A different process, later: load the stored plan against a system
+	// whose cache state has changed, and execute it.
+	runSys := demoSystem(t, 2, 1.0)
+	loaded, err := runSys.LoadPlan(q, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.String() != pl.String() {
+		t.Errorf("loaded plan differs:\n%s\nvs\n%s", loaded, pl)
+	}
+	res, err := runSys.Execute(q, loaded, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResultTuples != 10000 {
+		t.Errorf("loaded plan result = %d, want 10000", res.ResultTuples)
+	}
+
+	if _, err := runSys.LoadPlan(q, []byte("{")); err == nil {
+		t.Error("corrupt plan accepted")
+	}
+}
+
+func TestGroupedAggregation(t *testing.T) {
+	sys := demoSystem(t, 2, 0)
+	q := demoQuery()
+	q.GroupBy = 64
+	pl, err := sys.Optimize(q, OptimizeOptions{
+		Policy: HybridShipping, Metric: MinimizePagesSent, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Execute(q, pl, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResultTuples != 64 {
+		t.Errorf("aggregated result = %d tuples, want 64 groups", res.ResultTuples)
+	}
+	// With the aggregate placed at a server, only the base-relation shipping
+	// between the two servers (250 pages) plus two pages of groups crosses
+	// the wire — the 250-page result itself never does.
+	if res.PagesSent > 252 {
+		t.Errorf("aggregation did not shrink communication: %d pages", res.PagesSent)
+	}
+
+	// A scalar aggregate (one group) yields a single tuple.
+	q.GroupBy = 1
+	pl1, err := sys.Optimize(q, OptimizeOptions{Policy: QueryShipping, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := sys.Execute(q, pl1, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.ResultTuples != 1 {
+		t.Errorf("scalar aggregate = %d tuples, want 1", res1.ResultTuples)
+	}
+}
+
+func TestAggregationSerializes(t *testing.T) {
+	sys := demoSystem(t, 2, 0)
+	q := demoQuery()
+	q.GroupBy = 10
+	pl, err := sys.Optimize(q, OptimizeOptions{Policy: HybridShipping, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(pl.String(), "aggregate") {
+		t.Fatalf("plan lost the aggregation:\n%s", pl)
+	}
+	data, err := pl.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := sys.LoadPlan(q, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != pl.String() {
+		t.Error("aggregation plan round trip mismatch")
+	}
+}
+
+func TestExecuteConcurrent(t *testing.T) {
+	sys := demoSystem(t, 2, 0)
+	q := demoQuery()
+	pl, err := sys.Optimize(q, OptimizeOptions{Policy: QueryShipping, Seed: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := sys.Execute(q, pl, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := sys.ExecuteConcurrent(q, []Submission{
+		{Plan: pl}, {Plan: pl}, {Plan: pl},
+	}, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	for i, r := range results {
+		if r.ResultTuples != 10000 {
+			t.Errorf("query %d: result = %d, want 10000", i, r.ResultTuples)
+		}
+		if r.ResponseTime < solo.ResponseTime {
+			t.Errorf("query %d: concurrent RT %.2f below solo %.2f", i, r.ResponseTime, solo.ResponseTime)
+		}
+	}
+}

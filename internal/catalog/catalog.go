@@ -1,0 +1,188 @@
+// Package catalog describes the database seen by the optimizer and the
+// execution engine: base relations, their statistics, the server holding
+// each primary copy, and the portions cached on the client's disk.
+//
+// Following the paper (§3.3): relations are not horizontally partitioned and
+// not replicated across servers; the client holds no primary copies; cached
+// data is a contiguous prefix of a relation, resident on the client disk.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SiteID identifies a machine. The client is always site -1; servers are
+// numbered from 0.
+type SiteID int
+
+// Client is the site at which queries are submitted and results displayed.
+const Client SiteID = -1
+
+// Relation is a base relation.
+type Relation struct {
+	Name       string
+	Tuples     int    // cardinality
+	TupleBytes int    // bytes per tuple after projection
+	Home       SiteID // server storing the primary copy; never Client
+}
+
+// Pages returns the number of pages the relation occupies. Tuples do not
+// span page boundaries, so a 10,000-tuple relation of 100-byte tuples
+// occupies 250 four-kilobyte pages — the figure the paper reports.
+func (r *Relation) Pages(pageSize int) int {
+	if r.Tuples == 0 {
+		return 0
+	}
+	perPage := pageSize / r.TupleBytes
+	if perPage < 1 {
+		perPage = 1
+	}
+	return (r.Tuples + perPage - 1) / perPage
+}
+
+// TuplesPerPage returns how many tuples fit on one page.
+func (r *Relation) TuplesPerPage(pageSize int) int {
+	n := pageSize / r.TupleBytes
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Catalog is the schema plus placement and client-cache state for one system
+// configuration.
+type Catalog struct {
+	PageSize   int
+	NumServers int
+	relations  map[string]*Relation
+	order      []string
+	cachedFrac map[string]float64 // fraction of each relation cached at the client
+}
+
+// New creates an empty catalog.
+func New(pageSize, numServers int) *Catalog {
+	if pageSize <= 0 || numServers < 0 {
+		panic("catalog: invalid configuration")
+	}
+	return &Catalog{
+		PageSize:   pageSize,
+		NumServers: numServers,
+		relations:  make(map[string]*Relation),
+		cachedFrac: make(map[string]float64),
+	}
+}
+
+// AddRelation registers a base relation. The home server must exist.
+func (c *Catalog) AddRelation(r Relation) error {
+	if _, dup := c.relations[r.Name]; dup {
+		return fmt.Errorf("catalog: duplicate relation %q", r.Name)
+	}
+	if r.Home == Client {
+		return fmt.Errorf("catalog: relation %q: client cannot hold a primary copy", r.Name)
+	}
+	if int(r.Home) < 0 || int(r.Home) >= c.NumServers {
+		return fmt.Errorf("catalog: relation %q: home server %d out of range [0,%d)", r.Name, r.Home, c.NumServers)
+	}
+	if r.Tuples < 0 || r.TupleBytes <= 0 {
+		return fmt.Errorf("catalog: relation %q: invalid statistics", r.Name)
+	}
+	cp := r
+	c.relations[r.Name] = &cp
+	c.order = append(c.order, r.Name)
+	return nil
+}
+
+// Relation looks up a relation by name.
+func (c *Catalog) Relation(name string) (*Relation, bool) {
+	r, ok := c.relations[name]
+	return r, ok
+}
+
+// MustRelation looks up a relation, panicking if absent. For internal use on
+// validated plans.
+func (c *Catalog) MustRelation(name string) *Relation {
+	r, ok := c.relations[name]
+	if !ok {
+		panic("catalog: unknown relation " + name)
+	}
+	return r
+}
+
+// Relations returns relation names in registration order.
+func (c *Catalog) Relations() []string {
+	return append([]string(nil), c.order...)
+}
+
+// SetCachedFraction declares that the first frac (0..1) of the relation is
+// cached on the client's disk.
+func (c *Catalog) SetCachedFraction(name string, frac float64) error {
+	if _, ok := c.relations[name]; !ok {
+		return fmt.Errorf("catalog: unknown relation %q", name)
+	}
+	if frac < 0 || frac > 1 {
+		return fmt.Errorf("catalog: cached fraction %g out of [0,1]", frac)
+	}
+	c.cachedFrac[name] = frac
+	return nil
+}
+
+// CachedFraction reports the cached fraction of a relation (0 if none).
+func (c *Catalog) CachedFraction(name string) float64 {
+	return c.cachedFrac[name]
+}
+
+// CachedPages reports how many pages of the relation are cached at the
+// client; the cached portion is a contiguous prefix (paper §4.2.1).
+func (c *Catalog) CachedPages(name string) int {
+	r, ok := c.relations[name]
+	if !ok {
+		return 0
+	}
+	return int(c.cachedFrac[name] * float64(r.Pages(c.PageSize)))
+}
+
+// Clone returns a deep copy, useful for constructing "assumed" catalogs for
+// static and 2-step optimization experiments (§5).
+func (c *Catalog) Clone() *Catalog {
+	n := New(c.PageSize, c.NumServers)
+	for _, name := range c.order {
+		r := *c.relations[name]
+		n.relations[name] = &r
+		n.order = append(n.order, name)
+	}
+	for k, v := range c.cachedFrac {
+		n.cachedFrac[k] = v
+	}
+	return n
+}
+
+// WithNumServers returns a clone that claims a different server population,
+// re-homing relations that reference servers beyond the new count. Used to
+// build the "centralized" and "fully distributed" assumptions of §5.2.
+func (c *Catalog) WithNumServers(n int) *Catalog {
+	cl := c.Clone()
+	cl.NumServers = n
+	for _, name := range cl.order {
+		r := cl.relations[name]
+		if int(r.Home) >= n {
+			r.Home = SiteID(int(r.Home) % n)
+		}
+	}
+	return cl
+}
+
+// ServersUsed returns the sorted set of servers that hold at least one
+// relation.
+func (c *Catalog) ServersUsed() []SiteID {
+	seen := make(map[SiteID]bool)
+	for _, name := range c.order {
+		seen[c.relations[name].Home] = true
+	}
+	var out []SiteID
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,446 @@
+// Package cost implements the optimizer's analytic cost model (§3.1.2).
+//
+// Total-cost estimates follow the style of Mackert and Lohman's R* model:
+// the sum, over all operators, of CPU, disk, and communication resource
+// consumption. Response-time estimates follow Ganguly, Hasan and
+// Krishnamurthy: pipelined producer/consumer operators overlap, independent
+// subtrees run in parallel, and the final response time is bounded below by
+// the busiest single resource. Hybrid-hash-join memory behaviour (minimum and
+// maximum allocations) follows Shapiro.
+//
+// The model deliberately shares the paper's idealization that communication
+// fully overlaps with processing; §4.2.3 of the paper observes (and our
+// EXPERIMENTS.md confirms) that the simulator rarely attains this.
+package cost
+
+import (
+	"math"
+	"sort"
+
+	"hybridship/internal/catalog"
+	"hybridship/internal/plan"
+	"hybridship/internal/query"
+)
+
+// Params configures the cost model. Table 2 of the paper defines the CPU and
+// message constants; the per-page disk times are the calibration aggregates
+// of §4.1 (obtained from separate simulation runs, exactly as the paper did).
+type Params struct {
+	Mips        float64 // CPU speed, 10^6 instructions per second
+	PageSize    int     // bytes per page
+	NetBw       float64 // network bandwidth, bits per second
+	MsgInst     float64 // instructions to send or receive a message
+	PerSizeMI   float64 // instructions to send or receive PageSize bytes
+	DisplayInst float64 // instructions to display a tuple
+	CompareInst float64 // instructions to apply a predicate
+	HashInst    float64 // instructions to hash a tuple
+	MoveInst    float64 // instructions to copy 4 bytes
+	DiskInst    float64 // instructions per disk I/O request
+	NumDisks    int     // disk arms per site (default 1)
+
+	SeqPageTime  float64 // seconds per sequential page I/O (calibrated)
+	RandPageTime float64 // seconds per random page I/O (calibrated)
+	// Spill I/O prices reflect the disk's write-back cache and batched
+	// destaging: partition writes and partition-sequential re-reads run
+	// much closer to sequential than to random speed. Calibrated against
+	// the simulator like the two rates above.
+	SpillWriteTime float64
+	SpillReadTime  float64
+
+	FudgeF   float64 // Shapiro's hash-table fudge factor (1.2)
+	MaxAlloc bool    // joins get maximum (true) or minimum (false) allocation
+
+	// ServerDiskUtil is the utilization of each server's disk due to
+	// external load (multi-client contention, §4.2.2). Disk service times at
+	// a loaded server are inflated by 1/(1-u).
+	ServerDiskUtil map[catalog.SiteID]float64
+}
+
+// DefaultParams returns the Table 2 defaults with the §4.1 disk calibration.
+func DefaultParams() Params {
+	return Params{
+		Mips:           50,
+		PageSize:       4096,
+		NetBw:          100e6,
+		MsgInst:        20000,
+		PerSizeMI:      12000,
+		DisplayInst:    0,
+		CompareInst:    2,
+		HashInst:       9,
+		MoveInst:       1,
+		DiskInst:       5000,
+		NumDisks:       1,
+		SeqPageTime:    0.0035,
+		RandPageTime:   0.0118,
+		SpillWriteTime: 0.0045,
+		SpillReadTime:  0.0035,
+		FudgeF:         1.2,
+		MaxAlloc:       false,
+	}
+}
+
+func (p Params) cpuTime(instructions float64) float64 {
+	return instructions / (p.Mips * 1e6)
+}
+
+// msgCPUTime is the endpoint CPU time to send or receive one message.
+func (p Params) msgCPUTime(bytes int) float64 {
+	return p.cpuTime(p.MsgInst + p.PerSizeMI*float64(bytes)/float64(p.PageSize))
+}
+
+func (p Params) wireTime(bytes int) float64 {
+	return float64(bytes) * 8 / p.NetBw
+}
+
+func (p Params) diskUtil(site catalog.SiteID) float64 {
+	u := p.ServerDiskUtil[site]
+	switch {
+	case u < 0:
+		return 0
+	case u > 0.99:
+		return 0.99
+	default:
+		return u
+	}
+}
+
+// diskTime inflates a raw disk service time by the external load at a site.
+func (p Params) diskTime(site catalog.SiteID, raw float64) float64 {
+	return raw / (1 - p.diskUtil(site))
+}
+
+// ctrlMsgBytes is the size of a small control message (e.g. a page-fault
+// request).
+const ctrlMsgBytes = 128
+
+// Estimate is the optimizer's prediction for a bound plan.
+type Estimate struct {
+	TotalCost    float64 // sum of all resource consumption, seconds
+	ResponseTime float64 // predicted elapsed time, seconds
+	PagesSent    float64 // data pages crossing the network
+}
+
+// Metric selects which prediction the optimizer minimizes.
+type Metric int
+
+const (
+	MetricTotalCost Metric = iota
+	MetricResponseTime
+	MetricPagesSent
+)
+
+func (m Metric) String() string {
+	switch m {
+	case MetricTotalCost:
+		return "total-cost"
+	case MetricResponseTime:
+		return "response-time"
+	case MetricPagesSent:
+		return "pages-sent"
+	}
+	return "metric(?)"
+}
+
+// Value extracts the metric from an estimate.
+func (e Estimate) Value(m Metric) float64 {
+	switch m {
+	case MetricTotalCost:
+		return e.TotalCost
+	case MetricResponseTime:
+		return e.ResponseTime
+	case MetricPagesSent:
+		return e.PagesSent
+	}
+	return e.TotalCost
+}
+
+// Model evaluates plans for one query against one catalog.
+type Model struct {
+	Params  Params
+	Catalog *catalog.Catalog
+	Query   *query.Query
+}
+
+// nodeInfo carries per-node derived quantities up the tree.
+type nodeInfo struct {
+	card       float64 // output cardinality, tuples
+	tupleBytes int
+	pages      float64 // output size in pages
+	rt         float64 // completion time of this node's output
+	site       catalog.SiteID
+}
+
+// accum aggregates resource consumption for the total-cost metric and the
+// bottleneck bound of the response-time metric.
+type accum struct {
+	cpu   map[catalog.SiteID]float64
+	disk  map[catalog.SiteID]float64
+	wire  float64
+	pages float64
+}
+
+func newAccum() *accum {
+	return &accum{cpu: make(map[catalog.SiteID]float64), disk: make(map[catalog.SiteID]float64)}
+}
+
+// total sums all resource consumption. Keys are visited in sorted order so
+// floating-point rounding is identical across runs — map iteration order
+// would otherwise make estimates differ in their last bits and break the
+// optimizer's seed-determinism.
+func (a *accum) total() float64 {
+	t := a.wire
+	for _, s := range sortedSiteKeys(a.cpu) {
+		t += a.cpu[s]
+	}
+	for _, s := range sortedSiteKeys(a.disk) {
+		t += a.disk[s]
+	}
+	return t
+}
+
+func sortedSiteKeys(m map[catalog.SiteID]float64) []catalog.SiteID {
+	out := make([]catalog.SiteID, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (a *accum) bottleneck(disksPerSite int) float64 {
+	if disksPerSite < 1 {
+		disksPerSite = 1
+	}
+	m := a.wire
+	for _, v := range a.cpu {
+		m = math.Max(m, v)
+	}
+	for _, v := range a.disk {
+		// A site's disk work spreads over its arms in the best case.
+		m = math.Max(m, v/float64(disksPerSite))
+	}
+	return m
+}
+
+// Estimate predicts the execution of a plan whose annotations have been
+// bound to sites.
+func (m *Model) Estimate(root *plan.Node, binding plan.Binding) Estimate {
+	acc := newAccum()
+	info := m.eval(root, binding, acc)
+	rt := math.Max(info.rt, acc.bottleneck(m.Params.NumDisks))
+	return Estimate{TotalCost: acc.total(), ResponseTime: rt, PagesSent: acc.pages}
+}
+
+func pagesOf(card float64, tupleBytes, pageSize int) float64 {
+	if card <= 0 {
+		return 0
+	}
+	perPage := float64(pageSize / tupleBytes)
+	if perPage < 1 {
+		perPage = 1
+	}
+	return math.Ceil(card / perPage)
+}
+
+// ship charges communication for moving `pages` data pages of `bytes` total
+// from one site to another and returns the pipeline stage duration.
+func (m *Model) ship(acc *accum, from, to catalog.SiteID, pages float64, acct bool) float64 {
+	if from == to || pages <= 0 {
+		return 0
+	}
+	p := m.Params
+	perPageCPU := p.msgCPUTime(p.PageSize)
+	wire := p.wireTime(p.PageSize)
+	acc.cpu[from] += perPageCPU * pages
+	acc.cpu[to] += perPageCPU * pages
+	acc.wire += wire * pages
+	if acct {
+		acc.pages += pages
+	}
+	// The shipping stage streams pages; its duration is bounded by the
+	// slower of the wire and the two endpoint CPUs for this stream.
+	return pages * math.Max(wire, perPageCPU)
+}
+
+func (m *Model) eval(n *plan.Node, b plan.Binding, acc *accum) nodeInfo {
+	p := m.Params
+	site := b[n]
+	switch n.Kind {
+	case plan.KindScan:
+		return m.evalScan(n, site, acc)
+
+	case plan.KindSelect:
+		child := m.eval(n.Left, b, acc)
+		shipDur := m.ship(acc, child.site, site, child.pages, true)
+		sel := m.Query.SelectSelectivity(n.Rel)
+		cpu := p.cpuTime(p.CompareInst * child.card)
+		acc.cpu[site] += cpu
+		out := child.card * sel
+		return nodeInfo{
+			card:       out,
+			tupleBytes: child.tupleBytes,
+			pages:      pagesOf(out, child.tupleBytes, p.PageSize),
+			rt:         math.Max(child.rt, math.Max(shipDur, cpu)),
+			site:       site,
+		}
+
+	case plan.KindJoin:
+		return m.evalJoin(n, b, acc)
+
+	case plan.KindAgg:
+		child := m.eval(n.Left, b, acc)
+		shipDur := m.ship(acc, child.site, site, child.pages, true)
+		cpu := p.cpuTime(p.HashInst * child.card)
+		acc.cpu[site] += cpu
+		out := float64(m.Query.GroupBy)
+		if out <= 0 || out > child.card {
+			out = math.Min(1, child.card)
+			if m.Query.GroupBy > 0 {
+				out = math.Min(float64(m.Query.GroupBy), child.card)
+			}
+		}
+		// Aggregation is blocking: its (small) output appears only after the
+		// whole input has been consumed.
+		return nodeInfo{
+			card:       out,
+			tupleBytes: child.tupleBytes,
+			pages:      pagesOf(out, child.tupleBytes, p.PageSize),
+			rt:         math.Max(child.rt, shipDur) + cpu,
+			site:       site,
+		}
+
+	case plan.KindDisplay:
+		child := m.eval(n.Left, b, acc)
+		shipDur := m.ship(acc, child.site, site, child.pages, true)
+		cpu := p.cpuTime(p.DisplayInst * child.card)
+		acc.cpu[site] += cpu
+		return nodeInfo{
+			card:       child.card,
+			tupleBytes: child.tupleBytes,
+			pages:      child.pages,
+			rt:         math.Max(child.rt, math.Max(shipDur, cpu)),
+			site:       site,
+		}
+	}
+	panic("cost: unknown node kind")
+}
+
+func (m *Model) evalScan(n *plan.Node, site catalog.SiteID, acc *accum) nodeInfo {
+	p := m.Params
+	rel := m.Catalog.MustRelation(n.Table)
+	pages := float64(rel.Pages(p.PageSize))
+	card := float64(rel.Tuples)
+	info := nodeInfo{card: card, tupleBytes: rel.TupleBytes, pages: pages, site: site}
+
+	if site == rel.Home || pages == 0 {
+		// Scan at the primary copy: sequential I/O at the home server.
+		d := p.diskTime(rel.Home, p.SeqPageTime) * pages
+		cpu := p.cpuTime(p.DiskInst * pages)
+		acc.disk[rel.Home] += d
+		acc.cpu[rel.Home] += cpu
+		info.rt = d + cpu
+		return info
+	}
+
+	// Client scan (§2.1): cached pages come from the client disk; missing
+	// pages are faulted in from the home server one page at a time, with no
+	// overlap between request, server I/O, and reply (§4.2.3).
+	cached := float64(m.Catalog.CachedPages(n.Table))
+	if cached > pages {
+		cached = pages
+	}
+	missing := pages - cached
+
+	clientDisk := p.diskTime(site, p.SeqPageTime) * cached
+	clientCPU := p.cpuTime(p.DiskInst * cached)
+	acc.disk[site] += clientDisk
+	acc.cpu[site] += clientCPU
+
+	var faultDur float64
+	if missing > 0 {
+		reqCPU := p.msgCPUTime(ctrlMsgBytes)
+		pageCPU := p.msgCPUTime(p.PageSize)
+		serverIO := p.diskTime(rel.Home, p.SeqPageTime)
+		serverCPU := p.cpuTime(p.DiskInst)
+		acc.cpu[site] += (reqCPU + pageCPU) * missing
+		acc.cpu[rel.Home] += (reqCPU + pageCPU + serverCPU) * missing
+		acc.disk[rel.Home] += serverIO * missing
+		acc.wire += (p.wireTime(ctrlMsgBytes) + p.wireTime(p.PageSize)) * missing
+		acc.pages += missing
+		perFault := reqCPU*2 + p.wireTime(ctrlMsgBytes) + serverCPU + serverIO +
+			pageCPU*2 + p.wireTime(p.PageSize)
+		faultDur = perFault * missing
+	}
+	info.rt = clientDisk + clientCPU + faultDur
+	return info
+}
+
+func (m *Model) evalJoin(n *plan.Node, b plan.Binding, acc *accum) nodeInfo {
+	p := m.Params
+	site := b[n]
+	inner := m.eval(n.Left, b, acc)
+	outer := m.eval(n.Right, b, acc)
+
+	innerShip := m.ship(acc, inner.site, site, inner.pages, true)
+	outerShip := m.ship(acc, outer.site, site, outer.pages, true)
+
+	sel := m.Query.JoinSelectivity(n.Left.BaseTables(), n.Right.BaseTables())
+	outCard := inner.card * outer.card * sel
+	outBytes := m.Query.ResultTupleBytes
+	outPages := pagesOf(outCard, outBytes, p.PageSize)
+
+	// CPU: hash each input tuple once, move each result tuple.
+	buildCPU := p.cpuTime(p.HashInst * inner.card)
+	probeCPU := p.cpuTime(p.HashInst*outer.card + p.MoveInst*(float64(outBytes)/4)*outCard)
+	acc.cpu[site] += buildCPU + probeCPU
+
+	// Temporary I/O per Shapiro: with the maximum allocation the inner's
+	// hash table is memory resident; with the minimum allocation all but a
+	// memory-sized slice of both inputs is written to and re-read from the
+	// join site's disk.
+	var writeInner, writeOuter, readBack float64
+	if !p.MaxAlloc {
+		fn := p.FudgeF * inner.pages
+		mem := math.Ceil(math.Sqrt(fn))
+		q := 0.0
+		if fn > 0 {
+			q = mem / fn
+		}
+		if q > 1 {
+			q = 1
+		}
+		spillInner := (1 - q) * inner.pages
+		spillOuter := (1 - q) * outer.pages
+		ioCPU := p.cpuTime(p.DiskInst)
+		writeInner = (p.diskTime(site, p.SpillWriteTime) + ioCPU) * spillInner
+		writeOuter = (p.diskTime(site, p.SpillWriteTime) + ioCPU) * spillOuter
+		readBack = (p.diskTime(site, p.SpillReadTime) + ioCPU) * (spillInner + spillOuter)
+		acc.disk[site] += p.diskTime(site, p.SpillWriteTime)*(spillInner+spillOuter) +
+			p.diskTime(site, p.SpillReadTime)*(spillInner+spillOuter)
+		acc.cpu[site] += ioCPU * 2 * (spillInner + spillOuter)
+	}
+
+	// Response time. The build blocks on the inner and the probe pipelines
+	// with the outer. Partition writes at this join overlap the producer's
+	// work when the producer runs at a different site (its partition-pass
+	// reads stream while we write); co-located producer and consumer share
+	// one disk, so their phases serialize. The final partition passes
+	// (readBack) are this join's output emission and are in turn overlapped
+	// by our consumer, which applies the same rule.
+	buildWork := buildCPU + writeInner
+	probeWork := probeCPU + writeOuter
+	var buildDur, probeDur float64
+	if inner.site == site {
+		buildDur = inner.rt + buildWork
+	} else {
+		buildDur = math.Max(inner.rt, math.Max(innerShip, buildWork))
+	}
+	if outer.site == site {
+		probeDur = outer.rt + probeWork
+	} else {
+		probeDur = math.Max(outer.rt, math.Max(outerShip, probeWork))
+	}
+	rt := buildDur + probeDur + readBack
+
+	return nodeInfo{card: outCard, tupleBytes: outBytes, pages: outPages, rt: rt, site: site}
+}

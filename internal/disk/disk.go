@@ -1,0 +1,391 @@
+// Package disk implements the detailed disk model of the paper's simulator
+// (§3.2.2), adapted from the ZetaSim model with settings in the spirit of the
+// Fujitsu M2266 drive used by Patel, Carey and Vernon (SIGMETRICS 1994).
+//
+// The model includes an elevator (SCAN) scheduling policy, a controller cache
+// with read-ahead prefetching, explicit seek/settle costs, and a rotational
+// position that advances with virtual time, so sequential transfers stream at
+// media rate while random requests pay seek plus rotational latency. The
+// parameters are calibrated so that page-at-a-time demand reads average
+// ~3.5 ms sequential and ~11.8 ms random, the aggregates the paper reports
+// for its own calibration runs (§4.1).
+package disk
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hybridship/internal/sim"
+)
+
+// PageAddr is a linear page number on a disk. Geometry mapping (cylinder,
+// track, sector) is derived from the address.
+type PageAddr int64
+
+// Params configures the disk model. The zero value is not usable; start from
+// DefaultParams.
+type Params struct {
+	Cylinders       int     // number of cylinders
+	TracksPerCyl    int     // surfaces (heads)
+	PagesPerTrack   int     // 4 KB pages per track
+	RotationTime    float64 // seconds per revolution
+	SettleTime      float64 // head settle / single-track or head-switch time (s)
+	SeekFactor      float64 // seek(dist) = SettleTime + SeekFactor*sqrt(dist) (s)
+	CtrlOverhead    float64 // fixed controller time per request (s)
+	CtrlHitTime     float64 // controller-cache hit service time per page (s)
+	CtrlCachePages  int     // capacity of the controller cache, in pages
+	ReadAheadPages  int     // max pages prefetched past a read (same track)
+	WriteCachePages int     // write-back cache capacity; 0 = write-through
+	FIFOScheduling  bool    // serve requests in arrival order instead of SCAN
+}
+
+// DefaultParams returns the calibrated settings used throughout the study.
+func DefaultParams() Params {
+	return Params{
+		Cylinders:       1250,
+		TracksPerCyl:    10,
+		PagesPerTrack:   4,
+		RotationTime:    0.0111, // 5400 rpm; a 4 KB page at media rate = 2.78 ms
+		SettleTime:      0.001,
+		SeekFactor:      0.00011,
+		CtrlOverhead:    0.0004,
+		CtrlHitTime:     0.0004,
+		CtrlCachePages:  48,
+		ReadAheadPages:  3,
+		WriteCachePages: 128,
+	}
+}
+
+// Capacity returns the total number of pages on a disk with these parameters.
+func (p Params) Capacity() PageAddr {
+	return PageAddr(p.Cylinders * p.TracksPerCyl * p.PagesPerTrack)
+}
+
+type opKind int
+
+const (
+	opRead opKind = iota
+	opWrite
+)
+
+type request struct {
+	kind   opKind
+	page   PageAddr
+	cyl    int
+	waiter *sim.Proc
+	done   bool
+	seq    int64
+}
+
+// Stats aggregates per-disk counters for reporting and tests.
+type Stats struct {
+	Reads      int64
+	Writes     int64
+	CacheHits  int64
+	Destages   int64   // dirty pages flushed from the write-back cache
+	DestageOps int64   // batched destage operations (arm passes)
+	BusyTime   float64 // seconds the arm/controller was servicing requests
+	SeekTime   float64 // seconds spent seeking
+	RotTime    float64 // seconds of rotational latency
+	XferTime   float64 // seconds of media transfer (incl. read-ahead)
+}
+
+// Disk is one simulated disk drive with its own service process.
+type Disk struct {
+	sim    *sim.Simulator
+	name   string
+	params Params
+
+	queue  []*request
+	server *sim.Proc
+	idle   bool
+	seq    int64
+
+	curCyl  int
+	sweepUp bool
+
+	cache      map[PageAddr]bool
+	cacheOrder []PageAddr // FIFO eviction
+	lastRead   PageAddr   // previous read target, for sequential detection
+	lastEnd    PageAddr   // page just past the last media transfer
+	dirty      map[PageAddr]bool
+
+	stats Stats
+}
+
+// New creates a disk and spawns its service process on s.
+func New(s *sim.Simulator, name string, params Params) *Disk {
+	if params.Cylinders <= 0 || params.PagesPerTrack <= 0 || params.TracksPerCyl <= 0 {
+		panic("disk: invalid geometry")
+	}
+	d := &Disk{
+		sim: s, name: name, params: params,
+		cache: make(map[PageAddr]bool), dirty: make(map[PageAddr]bool), lastRead: -2, lastEnd: -2,
+	}
+	d.server = s.SpawnDaemon("disk:"+name, d.serve)
+	d.idle = true
+	return d
+}
+
+// Name returns the disk's name.
+func (d *Disk) Name() string { return d.name }
+
+// Stats returns a copy of the disk's counters.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// Utilization returns busy time divided by elapsed virtual time.
+func (d *Disk) Utilization() float64 {
+	if now := d.sim.Now(); now > 0 {
+		return d.stats.BusyTime / now
+	}
+	return 0
+}
+
+// Read performs a blocking read of one page.
+func (d *Disk) Read(p *sim.Proc, page PageAddr) { d.submit(p, opRead, page) }
+
+// Write performs a blocking write of one page.
+func (d *Disk) Write(p *sim.Proc, page PageAddr) { d.submit(p, opWrite, page) }
+
+func (d *Disk) submit(p *sim.Proc, kind opKind, page PageAddr) {
+	if page < 0 || page >= d.params.Capacity() {
+		panic(fmt.Sprintf("disk %s: page %d out of range [0,%d)", d.name, page, d.params.Capacity()))
+	}
+	d.seq++
+	r := &request{kind: kind, page: page, cyl: d.cylOf(page), waiter: p, seq: d.seq}
+	d.queue = append(d.queue, r)
+	if d.idle {
+		d.idle = false
+		d.server.Unblock()
+	}
+	for !r.done {
+		p.Block()
+	}
+}
+
+func (d *Disk) cylOf(page PageAddr) int {
+	return int(page) / (d.params.TracksPerCyl * d.params.PagesPerTrack)
+}
+
+func (d *Disk) trackOf(page PageAddr) int {
+	return int(page) / d.params.PagesPerTrack // global track index
+}
+
+func (d *Disk) sectorOf(page PageAddr) int {
+	return int(page) % d.params.PagesPerTrack
+}
+
+// rotateTo charges rotational latency before transferring the given page:
+// zero when the transfer continues exactly where the last one ended (track
+// skew lets contiguous runs stream across track boundaries), otherwise the
+// expected half revolution.
+func (d *Disk) rotateTo(p *sim.Proc, page PageAddr) {
+	if page == d.lastEnd {
+		return
+	}
+	t := d.params.RotationTime / 2
+	d.stats.RotTime += t
+	p.Hold(t)
+}
+
+func (d *Disk) serve(p *sim.Proc) {
+	lowWater := d.params.WriteCachePages * 3 / 4
+	for {
+		for len(d.queue) == 0 {
+			// Destage the write-back cache when no requests are waiting and
+			// the cache is above its low-water mark. Waiting for the mark
+			// lets address-contiguous runs accumulate so a destage pass
+			// writes several pages per rotation instead of one.
+			if len(d.dirty) > lowWater {
+				start := d.sim.Now()
+				d.destageOne(p)
+				d.stats.BusyTime += d.sim.Now() - start
+				continue
+			}
+			d.idle = true
+			p.Block()
+		}
+		r := d.pickElevator()
+		start := d.sim.Now()
+		switch r.kind {
+		case opRead:
+			d.stats.Reads++
+			d.serviceRead(p, r)
+		case opWrite:
+			d.stats.Writes++
+			d.serviceWrite(p, r)
+		}
+		d.stats.BusyTime += d.sim.Now() - start
+		r.done = true
+		r.waiter.Unblock()
+	}
+}
+
+// pickElevator removes and returns the next request under SCAN scheduling:
+// continue in the current sweep direction, reversing at the extremes. Ties on
+// the same cylinder are served in arrival order.
+func (d *Disk) pickElevator() *request {
+	if d.params.FIFOScheduling {
+		r := d.queue[0]
+		d.queue = d.queue[1:]
+		return r
+	}
+	best := -1
+	for pass := 0; pass < 2; pass++ {
+		for i, r := range d.queue {
+			inDir := (d.sweepUp && r.cyl >= d.curCyl) || (!d.sweepUp && r.cyl <= d.curCyl)
+			if !inDir {
+				continue
+			}
+			if best == -1 || closer(d.queue[i], d.queue[best], d.curCyl, d.sweepUp) {
+				best = i
+			}
+		}
+		if best >= 0 {
+			break
+		}
+		d.sweepUp = !d.sweepUp // nothing ahead; reverse
+	}
+	if best == -1 { // should not happen: queue non-empty
+		best = 0
+	}
+	r := d.queue[best]
+	d.queue = append(d.queue[:best], d.queue[best+1:]...)
+	return r
+}
+
+func closer(a, b *request, cur int, up bool) bool {
+	da, db := a.cyl-cur, b.cyl-cur
+	if !up {
+		da, db = -da, -db
+	}
+	if da != db {
+		return da < db
+	}
+	return a.seq < b.seq
+}
+
+// seekTo moves the head to the cylinder, charging seek time, and returns.
+func (d *Disk) seekTo(p *sim.Proc, cyl int) {
+	if cyl == d.curCyl {
+		return
+	}
+	dist := cyl - d.curCyl
+	if dist < 0 {
+		dist = -dist
+	}
+	t := d.params.SettleTime + d.params.SeekFactor*math.Sqrt(float64(dist))
+	d.stats.SeekTime += t
+	p.Hold(t)
+	d.curCyl = cyl
+}
+
+// transfer moves pages at media rate, starting at the given address.
+func (d *Disk) transfer(p *sim.Proc, start PageAddr, pages int) {
+	t := float64(pages) * d.params.RotationTime / float64(d.params.PagesPerTrack)
+	d.stats.XferTime += t
+	p.Hold(t)
+	d.lastEnd = start + PageAddr(pages)
+}
+
+func (d *Disk) serviceRead(p *sim.Proc, r *request) {
+	p.Hold(d.params.CtrlOverhead)
+	sequential := r.page == d.lastRead+1
+	d.lastRead = r.page
+	if d.cache[r.page] || d.dirty[r.page] {
+		d.stats.CacheHits++
+		p.Hold(d.params.CtrlHitTime)
+		return
+	}
+	d.seekTo(p, r.cyl)
+	d.rotateTo(p, r.page)
+	// Read-ahead triggers only on a detected sequential pattern, as in real
+	// controllers: the rest of the track (up to the read-ahead limit) is
+	// transferred into the controller cache along with the requested page.
+	ahead := 0
+	if sequential {
+		ahead = d.params.PagesPerTrack - 1 - d.sectorOf(r.page)
+		if ahead > d.params.ReadAheadPages {
+			ahead = d.params.ReadAheadPages
+		}
+	}
+	d.transfer(p, r.page, 1+ahead)
+	for i := 1; i <= ahead; i++ {
+		d.cacheInsert(r.page + PageAddr(i))
+	}
+}
+
+func (d *Disk) serviceWrite(p *sim.Proc, r *request) {
+	p.Hold(d.params.CtrlOverhead)
+	delete(d.cache, r.page) // the write-back copy supersedes any prefetch
+	if d.params.WriteCachePages <= 0 {
+		// Write-through: pay the full mechanical access now.
+		d.seekTo(p, r.cyl)
+		d.rotateTo(p, r.page)
+		d.transfer(p, r.page, 1)
+		return
+	}
+	// Write-back: absorb the write into the controller cache, paying a
+	// destage first if the cache is full.
+	if len(d.dirty) >= d.params.WriteCachePages && !d.dirty[r.page] {
+		d.destageOne(p)
+	}
+	d.dirty[r.page] = true
+	p.Hold(d.params.CtrlHitTime)
+}
+
+// destageOne flushes dirty pages in one batched mechanical operation: it
+// picks the dirty page nearest to the head, seeks there once, and writes
+// every dirty page on the same track during the pass. Batched write-behind
+// is what lets sequential partition streams from the hybrid hash join reach
+// near media rate instead of paying a rotation per page.
+func (d *Disk) destageOne(p *sim.Proc) {
+	if len(d.dirty) == 0 {
+		return
+	}
+	var best PageAddr = -1
+	bestDist := 1 << 30
+	for pg := range d.dirty {
+		dist := d.cylOf(pg) - d.curCyl
+		if dist < 0 {
+			dist = -dist
+		}
+		if dist < bestDist || (dist == bestDist && pg < best) {
+			best, bestDist = pg, dist
+		}
+	}
+	track := d.trackOf(best)
+	var batch []PageAddr
+	for pg := range d.dirty {
+		if d.trackOf(pg) == track {
+			batch = append(batch, pg)
+		}
+	}
+	sort.Slice(batch, func(i, j int) bool { return batch[i] < batch[j] })
+	d.stats.DestageOps++
+	d.seekTo(p, d.cylOf(best))
+	for _, pg := range batch {
+		delete(d.dirty, pg)
+		d.cacheInsert(pg) // the written data stays in the clean cache
+		d.stats.Destages++
+		d.rotateTo(p, pg) // zero for address-contiguous runs
+		d.transfer(p, pg, 1)
+	}
+}
+
+func (d *Disk) cacheInsert(page PageAddr) {
+	if d.cache[page] {
+		return
+	}
+	if len(d.cacheOrder) >= d.params.CtrlCachePages {
+		old := d.cacheOrder[0]
+		d.cacheOrder = d.cacheOrder[1:]
+		delete(d.cache, old)
+	}
+	d.cache[page] = true
+	d.cacheOrder = append(d.cacheOrder, page)
+}
+
+// Params returns the disk's configuration.
+func (d *Disk) Params() Params { return d.params }

@@ -1,0 +1,289 @@
+package disk
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hybridship/internal/sim"
+)
+
+// measure runs a workload of blocking page reads and returns the average
+// service time per page in seconds.
+func measureReads(pages []PageAddr, params Params) float64 {
+	s := sim.New()
+	d := New(s, "d0", params)
+	s.Spawn("reader", func(p *sim.Proc) {
+		for _, pg := range pages {
+			d.Read(p, pg)
+		}
+	})
+	end := s.Run()
+	return end / float64(len(pages))
+}
+
+// TestDiskCalibration checks the aggregates the paper reports for its own
+// cost-model calibration (§4.1): roughly 3.5 ms per page for sequential I/O
+// and 11.8 ms per page for random I/O.
+func TestDiskCalibration(t *testing.T) {
+	params := DefaultParams()
+
+	var seq []PageAddr
+	for i := 0; i < 2000; i++ {
+		seq = append(seq, PageAddr(i))
+	}
+	seqAvg := measureReads(seq, params)
+
+	rng := rand.New(rand.NewSource(7))
+	var rnd []PageAddr
+	for i := 0; i < 2000; i++ {
+		rnd = append(rnd, PageAddr(rng.Int63n(int64(params.Capacity()))))
+	}
+	rndAvg := measureReads(rnd, params)
+
+	t.Logf("sequential %.2f ms/page, random %.2f ms/page", seqAvg*1000, rndAvg*1000)
+	if seqAvg < 0.0030 || seqAvg > 0.0040 {
+		t.Errorf("sequential avg = %.2f ms/page, want 3.5 +- 0.5", seqAvg*1000)
+	}
+	if rndAvg < 0.0105 || rndAvg > 0.0131 {
+		t.Errorf("random avg = %.2f ms/page, want 11.8 +- 1.3", rndAvg*1000)
+	}
+	if rndAvg < 2*seqAvg {
+		t.Errorf("random (%.2f ms) should cost well over 2x sequential (%.2f ms)", rndAvg*1000, seqAvg*1000)
+	}
+}
+
+func TestReadAheadHitsCache(t *testing.T) {
+	s := sim.New()
+	params := DefaultParams()
+	d := New(s, "d0", params)
+	s.Spawn("reader", func(p *sim.Proc) {
+		for i := 0; i < params.PagesPerTrack; i++ {
+			d.Read(p, PageAddr(i))
+		}
+	})
+	s.Run()
+	st := d.Stats()
+	// Page 0 is a cold miss (no sequential pattern yet); page 1 misses and
+	// prefetches the rest of the track; the remaining pages hit.
+	want := int64(params.PagesPerTrack - 2)
+	if st.CacheHits != want {
+		t.Errorf("cache hits = %d, want %d", st.CacheHits, want)
+	}
+}
+
+func TestWriteBackCache(t *testing.T) {
+	s := sim.New()
+	params := DefaultParams()
+	d := New(s, "d0", params)
+	var writeTime float64
+	s.Spawn("w", func(p *sim.Proc) {
+		t0 := s.Now()
+		d.Write(p, 100)
+		writeTime = s.Now() - t0
+		d.Read(p, 100) // must hit the dirty write-back copy, not the platter
+	})
+	s.Run()
+	fast := params.CtrlOverhead + params.CtrlHitTime + 1e-9
+	if writeTime > fast {
+		t.Errorf("write-back write took %.3f ms, want cache-speed (<= %.3f ms)",
+			writeTime*1000, fast*1000)
+	}
+	st := d.Stats()
+	if st.CacheHits != 1 {
+		t.Errorf("read of dirty page: cache hits = %d, want 1", st.CacheHits)
+	}
+	// A single dirty page sits below the low-water mark; no destage is
+	// forced or performed while the cache is nearly empty.
+	if st.Destages != 0 {
+		t.Errorf("destages = %d, want 0 (below low-water mark)", st.Destages)
+	}
+}
+
+func TestWriteThroughWhenCacheDisabled(t *testing.T) {
+	s := sim.New()
+	params := DefaultParams()
+	params.WriteCachePages = 0
+	d := New(s, "d0", params)
+	var writeTime float64
+	s.Spawn("w", func(p *sim.Proc) {
+		t0 := s.Now()
+		d.Write(p, 5000)
+		writeTime = s.Now() - t0
+	})
+	s.Run()
+	// Must pay mechanical access: well above controller speed.
+	if writeTime < 0.004 {
+		t.Errorf("write-through write took %.3f ms, expected a mechanical access", writeTime*1000)
+	}
+}
+
+func TestWriteCacheFullForcesDestage(t *testing.T) {
+	s := sim.New()
+	params := DefaultParams()
+	params.WriteCachePages = 4
+	d := New(s, "d0", params)
+	s.Spawn("w", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			d.Write(p, PageAddr(i*1000))
+		}
+	})
+	s.Run()
+	st := d.Stats()
+	// With 10 writes and a 4-page cache, at least 6 destages must have been
+	// forced while the writer was still running. (Pages left dirty when the
+	// simulation's last non-daemon process exits stay in the cache.)
+	if st.Destages < 6 {
+		t.Errorf("destages = %d, want >= 6 forced by cache pressure", st.Destages)
+	}
+}
+
+func TestElevatorOrdersBySweep(t *testing.T) {
+	s := sim.New()
+	params := DefaultParams()
+	d := New(s, "d0", params)
+	pagesPerCyl := PageAddr(params.TracksPerCyl * params.PagesPerTrack)
+
+	var order []int
+	// Hold the disk busy with one request, then queue requests at cylinders
+	// 500, 100, 300 while it is busy; the upward sweep from cylinder 0 must
+	// serve them as 100, 300, 500.
+	s.Spawn("warm", func(p *sim.Proc) {
+		d.Read(p, 0)
+	})
+	for _, cyl := range []int{500, 100, 300} {
+		cyl := cyl
+		s.Spawn(fmt.Sprintf("r%d", cyl), func(p *sim.Proc) {
+			p.Hold(0.0001) // arrive while the warm request is in service
+			d.Read(p, PageAddr(cyl)*pagesPerCyl)
+			order = append(order, cyl)
+		})
+	}
+	s.Run()
+	want := []int{100, 300, 500}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Errorf("elevator order = %v, want %v", order, want)
+	}
+}
+
+func TestElevatorReversesSweep(t *testing.T) {
+	s := sim.New()
+	params := DefaultParams()
+	d := New(s, "d0", params)
+	pagesPerCyl := PageAddr(params.TracksPerCyl * params.PagesPerTrack)
+
+	var order []int
+	// Warm the head up to cylinder 800, then queue 700, 900 while busy.
+	// Sweep is upward: serve 900 first, then reverse down to 700.
+	s.Spawn("warm", func(p *sim.Proc) {
+		d.Read(p, 800*pagesPerCyl)
+		p.Hold(1.0)
+		got := append([]int(nil), order...)
+		if fmt.Sprint(got) != fmt.Sprint([]int{900, 700}) {
+			t.Errorf("sweep order = %v, want [900 700]", got)
+		}
+	})
+	for _, cyl := range []int{700, 900} {
+		cyl := cyl
+		s.Spawn(fmt.Sprintf("r%d", cyl), func(p *sim.Proc) {
+			p.Hold(0.001)
+			d.Read(p, PageAddr(cyl)*pagesPerCyl)
+			order = append(order, cyl)
+		})
+	}
+	s.Run()
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range page")
+		}
+	}()
+	s := sim.New()
+	d := New(s, "d0", DefaultParams())
+	s.Spawn("r", func(p *sim.Proc) {
+		d.Read(p, d.params.Capacity())
+	})
+	s.Run()
+}
+
+func TestUtilizationAndBusyTime(t *testing.T) {
+	s := sim.New()
+	d := New(s, "d0", DefaultParams())
+	s.Spawn("r", func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			d.Read(p, PageAddr(i))
+		}
+	})
+	end := s.Run()
+	st := d.Stats()
+	if st.BusyTime <= 0 || st.BusyTime > end+1e-9 {
+		t.Errorf("busy time %.4f out of range (0, %.4f]", st.BusyTime, end)
+	}
+	// A single synchronous reader keeps the disk busy almost continuously.
+	if u := d.Utilization(); u < 0.95 {
+		t.Errorf("utilization %.2f, want >= 0.95 for a saturating reader", u)
+	}
+	if st.Reads != 100 {
+		t.Errorf("reads = %d, want 100", st.Reads)
+	}
+}
+
+func TestConcurrentReadersInterfere(t *testing.T) {
+	// A sequential scan alone must be much faster per page than the same scan
+	// with a random-read process hammering the same disk — the interference
+	// effect behind the paper's Figure 3.
+	params := DefaultParams()
+	scanPages := 600
+
+	alone := func() float64 {
+		s := sim.New()
+		d := New(s, "d0", params)
+		var dur float64
+		s.Spawn("scan", func(p *sim.Proc) {
+			for i := 0; i < scanPages; i++ {
+				d.Read(p, PageAddr(i))
+			}
+			dur = s.Now()
+		})
+		s.Run()
+		return dur
+	}()
+
+	shared := func() float64 {
+		s := sim.New()
+		d := New(s, "d0", params)
+		var dur float64
+		s.Spawn("scan", func(p *sim.Proc) {
+			for i := 0; i < scanPages; i++ {
+				d.Read(p, PageAddr(i))
+			}
+			dur = s.Now()
+		})
+		s.SpawnDaemon("random-load", func(p *sim.Proc) {
+			rng := rand.New(rand.NewSource(3))
+			for {
+				d.Read(p, PageAddr(rng.Int63n(int64(params.Capacity()))))
+				p.Hold(0.005)
+			}
+		})
+		s.Run()
+		return dur
+	}()
+
+	if shared < alone*1.5 {
+		t.Errorf("shared scan %.3fs vs alone %.3fs: expected >= 1.5x slowdown from interference", shared, alone)
+	}
+}
+
+func BenchmarkDiskCalibration(b *testing.B) {
+	params := DefaultParams()
+	for i := 0; i < b.N; i++ {
+		var seq []PageAddr
+		for j := 0; j < 500; j++ {
+			seq = append(seq, PageAddr(j))
+		}
+		measureReads(seq, params)
+	}
+}

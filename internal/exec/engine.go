@@ -1,0 +1,306 @@
+// Package exec is the simulated query execution engine (§3.2.1): a
+// Volcano-style iterator engine whose operators run as processes inside the
+// discrete-event simulator, charging CPU, disk, and network resources as
+// they move real tuples.
+//
+// Query execution is demand driven with an open-next-close interface. When
+// two connected operators are located on different sites, a pair of network
+// operators is inserted between them; the producer side is its own process
+// that tries to stay one page ahead of its consumer, yielding pipelined
+// parallelism. Scans at the client read cached pages from the client disk
+// and fault missing pages from the relation's home server one page at a
+// time. All joins are hybrid hash joins (Shapiro) with either the minimum or
+// the maximum memory allocation.
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hybridship/internal/catalog"
+	"hybridship/internal/disk"
+	"hybridship/internal/netsim"
+	"hybridship/internal/query"
+	"hybridship/internal/sim"
+)
+
+// Params is the simulator configuration, Table 2 of the paper.
+type Params struct {
+	Mips        float64 // CPU speed, 10^6 instructions per second
+	NumDisks    int     // disks per site
+	DiskInst    float64 // instructions per disk I/O request
+	PageSize    int     // bytes per data page
+	NetBw       float64 // network bandwidth, bits per second
+	MsgInst     float64 // instructions to send or receive a message
+	PerSizeMI   float64 // instructions to send or receive PageSize bytes
+	DisplayInst float64 // instructions to display a tuple
+	CompareInst float64 // instructions to apply a predicate
+	HashInst    float64 // instructions to hash a tuple
+	MoveInst    float64 // instructions to copy 4 bytes
+	MaxAlloc    bool    // BufAlloc: joins get max (true) or min (false) memory
+	FudgeF      float64 // Shapiro fudge factor
+
+	// LookaheadPages is how far a network producer may run ahead of its
+	// consumer (default 1: "each producer has a process that tries to stay
+	// one page ahead", §3.2.1). Exposed for the pipelining ablation.
+	LookaheadPages int
+
+	Disk disk.Params // physical disk model
+}
+
+// DefaultParams returns Table 2's default settings.
+func DefaultParams() Params {
+	return Params{
+		Mips:        50,
+		NumDisks:    1,
+		DiskInst:    5000,
+		PageSize:    4096,
+		NetBw:       100e6,
+		MsgInst:     20000,
+		PerSizeMI:   12000,
+		DisplayInst: 0,
+		CompareInst: 2,
+		HashInst:    9,
+		MoveInst:    1,
+		MaxAlloc:    false,
+		FudgeF:      1.2,
+		Disk:        disk.DefaultParams(),
+	}
+}
+
+func (p Params) cpuTime(instr float64) float64 { return instr / (p.Mips * 1e6) }
+
+// lookahead returns the network producer lookahead, defaulting to one page.
+func (p Params) lookahead() int {
+	if p.LookaheadPages <= 0 {
+		return 1
+	}
+	return p.LookaheadPages
+}
+
+// msgCPUInstr is the endpoint CPU cost of one message of the given size.
+func (p Params) msgCPUInstr(bytes int) float64 {
+	return p.MsgInst + p.PerSizeMI*float64(bytes)/float64(p.PageSize)
+}
+
+// ctrlMsgBytes is the size of small control messages such as page-fault
+// requests.
+const ctrlMsgBytes = 128
+
+// Config describes one query execution: the machine park, the data, and the
+// external load.
+type Config struct {
+	Params  Params
+	Catalog *catalog.Catalog
+	Query   *query.Query
+
+	// Next gives the value of a relation's join attribute for the tuple with
+	// the given row id: the predicate Ri.next = Rj.id matches when
+	// Next(Ri, id_i) == id_j. See the workload package for the generators.
+	Next func(rel string, id int64) int64
+
+	// Pass evaluates the selection predicate on a base relation's tuple
+	// (nil means every tuple passes).
+	Pass func(rel string, id int64) bool
+
+	// ServerLoad adds an external process issuing random disk reads at the
+	// given rate (requests/second) on each listed server (§3.2.2).
+	ServerLoad map[catalog.SiteID]float64
+
+	// Seed drives the external load arrival process.
+	Seed int64
+}
+
+// Result reports one simulated query execution.
+type Result struct {
+	ResponseTime float64 // seconds until the last tuple is displayed
+	PagesSent    int64   // data pages transferred over the network
+	Messages     int64   // total network messages
+	ResultTuples int64   // cardinality of the displayed result
+	DiskStats    map[catalog.SiteID]disk.Stats
+	NetStats     netsim.Stats
+}
+
+// diskAddr locates one page on one of a site's disks.
+type diskAddr struct {
+	dsk  int
+	page disk.PageAddr
+}
+
+// plus returns the address n pages further into the same extent.
+func (a diskAddr) plus(n int) diskAddr {
+	return diskAddr{dsk: a.dsk, page: a.page + disk.PageAddr(n)}
+}
+
+// site is one simulated machine.
+type site struct {
+	id    catalog.SiteID
+	cpu   *sim.Resource
+	disks []*disk.Disk
+
+	// Disk layout: extents assigned to relations (servers) or cached
+	// relation prefixes (client) are spread over the site's disks round
+	// robin; each disk's remaining space is its temporary region for join
+	// partitions, with temp chunks also allocated round robin so concurrent
+	// partition streams exploit all arms.
+	extents  map[string]diskAddr // relation -> extent start
+	tempNext []disk.PageAddr     // per-disk temp bump pointer
+	tempRR   int                 // round-robin cursor for temp chunks
+
+	pager *pageServer // server-side page-fault handler
+}
+
+func (s *site) read(p *sim.Proc, a diskAddr)  { s.disks[a.dsk].Read(p, a.page) }
+func (s *site) write(p *sim.Proc, a diskAddr) { s.disks[a.dsk].Write(p, a.page) }
+
+func (s *site) chargeCPU(p *sim.Proc, params Params, instr float64) {
+	if instr <= 0 {
+		return
+	}
+	s.cpu.Use(p, params.cpuTime(instr))
+}
+
+// allocTemp reserves n contiguous pages in a temp region, rotating across
+// the site's disks per chunk.
+func (s *site) allocTemp(n int) diskAddr {
+	d := s.tempRR % len(s.disks)
+	s.tempRR++
+	a := diskAddr{dsk: d, page: s.tempNext[d]}
+	s.tempNext[d] += disk.PageAddr(n)
+	if s.tempNext[d] > s.disks[d].Params().Capacity() {
+		panic(fmt.Sprintf("exec: site %d disk %d temp region exhausted", s.id, d))
+	}
+	return a
+}
+
+// aggregateStats sums the counters of all the site's disks.
+func (s *site) aggregateStats() disk.Stats {
+	var out disk.Stats
+	for _, d := range s.disks {
+		st := d.Stats()
+		out.Reads += st.Reads
+		out.Writes += st.Writes
+		out.CacheHits += st.CacheHits
+		out.Destages += st.Destages
+		out.DestageOps += st.DestageOps
+		out.BusyTime += st.BusyTime
+		out.SeekTime += st.SeekTime
+		out.RotTime += st.RotTime
+		out.XferTime += st.XferTime
+	}
+	return out
+}
+
+// engine wires one simulation run together.
+type engine struct {
+	cfg     Config
+	sim     *sim.Simulator
+	net     *netsim.Network
+	client  *site
+	servers []*site
+	relIdx  map[string]int // relation name -> tuple slot
+	rng     *rand.Rand
+}
+
+func (e *engine) site(id catalog.SiteID) *site {
+	if id == catalog.Client {
+		return e.client
+	}
+	return e.servers[int(id)]
+}
+
+func newEngine(cfg Config) (*engine, error) {
+	if cfg.Catalog == nil || cfg.Query == nil {
+		return nil, fmt.Errorf("exec: config needs catalog and query")
+	}
+	if cfg.Next == nil {
+		return nil, fmt.Errorf("exec: config needs a Next join-attribute function")
+	}
+	if err := cfg.Query.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Params.NumDisks < 1 {
+		return nil, fmt.Errorf("exec: NumDisks must be at least 1")
+	}
+	e := &engine{
+		cfg:    cfg,
+		sim:    sim.New(),
+		relIdx: make(map[string]int),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+	e.net = netsim.New(e.sim, cfg.Params.NetBw)
+	for i, r := range cfg.Query.Relations {
+		e.relIdx[r] = i
+	}
+
+	newSite := func(id catalog.SiteID, name string) *site {
+		s := &site{
+			id:      id,
+			cpu:     sim.NewResource(e.sim, "cpu:"+name, 1),
+			extents: make(map[string]diskAddr),
+		}
+		for d := 0; d < cfg.Params.NumDisks; d++ {
+			s.disks = append(s.disks, disk.New(e.sim, fmt.Sprintf("%s/%d", name, d), cfg.Params.Disk))
+		}
+		s.tempNext = make([]disk.PageAddr, cfg.Params.NumDisks)
+		return s
+	}
+	e.client = newSite(catalog.Client, "client")
+	for i := 0; i < cfg.Catalog.NumServers; i++ {
+		e.servers = append(e.servers, newSite(catalog.SiteID(i), fmt.Sprintf("server%d", i)))
+	}
+
+	// Lay out primary copies on server disks and cached prefixes on the
+	// client disk, rotating relations across each site's disks; every
+	// disk's remaining space is temporary storage (the client reserves
+	// separate regions for cache and temp, §3.2.1).
+	place := func(s *site, name string, pages int) {
+		d := 0
+		for i := range s.disks {
+			if s.tempNext[i] < s.tempNext[d] {
+				d = i
+			}
+		}
+		s.extents[name] = diskAddr{dsk: d, page: s.tempNext[d]}
+		s.tempNext[d] += disk.PageAddr(pages)
+	}
+	for _, name := range cfg.Catalog.Relations() {
+		rel := cfg.Catalog.MustRelation(name)
+		place(e.site(rel.Home), name, rel.Pages(cfg.Params.PageSize))
+		if cp := cfg.Catalog.CachedPages(name); cp > 0 {
+			place(e.client, name, cp)
+		}
+	}
+	for _, s := range e.servers {
+		s.pager = newPageServer(e, s)
+	}
+
+	// External server load (§3.2.2): an extra process issues random disk
+	// reads at a configurable rate.
+	for id, rate := range cfg.ServerLoad {
+		if rate <= 0 {
+			continue
+		}
+		e.spawnLoad(e.site(id), rate)
+	}
+	return e, nil
+}
+
+// spawnLoad starts an open-loop Poisson arrival process of random single-page
+// reads against the site's disk.
+func (e *engine) spawnLoad(s *site, reqPerSec float64) {
+	capacity := int64(s.disks[0].Params().Capacity())
+	rng := rand.New(rand.NewSource(e.cfg.Seed ^ int64(s.id+1)*7919))
+	e.sim.SpawnDaemon(fmt.Sprintf("load:site%d", s.id), func(p *sim.Proc) {
+		for i := 0; ; i++ {
+			p.Hold(rng.ExpFloat64() / reqPerSec)
+			target := diskAddr{dsk: rng.Intn(len(s.disks)), page: disk.PageAddr(rng.Int63n(capacity))}
+			// Each arrival is its own process so that a slow disk queues
+			// arrivals instead of throttling them (open-loop load).
+			e.sim.SpawnDaemon(fmt.Sprintf("load:site%d/%d", s.id, i), func(q *sim.Proc) {
+				s.chargeCPU(q, e.cfg.Params, e.cfg.Params.DiskInst)
+				s.read(q, target)
+			})
+		}
+	})
+}

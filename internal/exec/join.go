@@ -1,0 +1,281 @@
+package exec
+
+import (
+	"math"
+
+	"hybridship/internal/catalog"
+	"hybridship/internal/sim"
+)
+
+// hhJoinOp is a hybrid hash join (Shapiro 1986), the only join method of the
+// study (§3.2.2). The inner (left) input is the build side.
+//
+// With the maximum allocation (BufAlloc = max) the whole build-side hash
+// table is memory resident. With the minimum allocation M = ⌈√(F·N)⌉ pages,
+// both inputs are split into B = ⌈(F·N − M)/(M − 1)⌉ partitions; partition 0
+// is processed in memory on the fly with the remaining M − B buffer pages,
+// while the other partitions are written to the join site's temporary disk
+// region and processed pairwise afterwards. Partition pages are allocated
+// lazily from the site's temp region, so concurrent partition streams
+// interleave on disk — the "additional, random load" of §4.2.2.
+type hhJoinOp struct {
+	e      *engine
+	atSite *site
+	inner  iterator
+	outer  iterator
+	bkey   *keyer
+	pkey   *keyer
+	tpp    int // output tuples per page
+
+	// allocation (computed from catalog estimates at open, like a real
+	// system granting the optimizer's memory request)
+	memPages int
+	nParts   int     // spilled partitions (0 = fully in-memory)
+	frac0    float64 // hash-space share of the in-memory partition
+
+	chunkPages int // extent chunk per spilled partition
+
+	table      map[uint64][]Tuple
+	innerParts []*partition
+	outerParts []*partition
+
+	phase    int // 0 = probing outer, 1 = spilled partition passes, 2 = done
+	partIdx  int
+	partPage int
+	outBuf   []Tuple
+	outCount int64
+}
+
+// partition is one spilled partition: the tuples grouped into pages, plus
+// the temp-disk addresses of the flushed pages. Each partition writes into
+// its own contiguous extent (allocated in chunks), so reading a partition
+// back is sequential while concurrent partition writes force arm movement —
+// the access pattern of a real hybrid hash join.
+type partition struct {
+	pages   [][]Tuple
+	addrs   []diskAddr
+	current []Tuple
+	tpp     int
+	chunk   int      // extent chunk size, pages
+	next    diskAddr // next free page of the current chunk
+	left    int      // pages remaining in the current chunk
+}
+
+func (pt *partition) add(e *engine, p *sim.Proc, s *site, t Tuple) {
+	pt.current = append(pt.current, t)
+	if len(pt.current) >= pt.tpp {
+		pt.flush(e, p, s)
+	}
+}
+
+func (pt *partition) flush(e *engine, p *sim.Proc, s *site) {
+	if len(pt.current) == 0 {
+		return
+	}
+	if pt.left == 0 {
+		pt.next = s.allocTemp(pt.chunk)
+		pt.left = pt.chunk
+	}
+	addr := pt.next
+	pt.next = pt.next.plus(1)
+	pt.left--
+	s.chargeCPU(p, e.cfg.Params, e.cfg.Params.DiskInst)
+	s.write(p, addr)
+	pt.pages = append(pt.pages, pt.current)
+	pt.addrs = append(pt.addrs, addr)
+	pt.current = nil
+}
+
+func (e *engine) newHHJoin(at catalog.SiteID, inner, outer iterator,
+	innerTables, outerTables map[string]bool, innerPages, outerPages int) *hhJoinOp {
+	j := &hhJoinOp{
+		e:      e,
+		atSite: e.site(at),
+		inner:  inner,
+		outer:  outer,
+		bkey:   newKeyer(e.cfg.Query, e.relIdx, innerTables, outerTables, e.cfg.Next),
+		pkey:   newKeyer(e.cfg.Query, e.relIdx, outerTables, innerTables, e.cfg.Next),
+		tpp:    tuplesPerPage(e.cfg.Params.PageSize, e.cfg.Query.ResultTupleBytes),
+	}
+	fn := e.cfg.Params.FudgeF * float64(innerPages)
+	if e.cfg.Params.MaxAlloc {
+		j.memPages = int(math.Ceil(fn)) + 1
+		j.nParts = 0
+		j.frac0 = 1
+	} else {
+		j.memPages = int(math.Ceil(math.Sqrt(fn)))
+		if j.memPages < 2 {
+			j.memPages = 2
+		}
+		b := int(math.Ceil((fn - float64(j.memPages)) / float64(j.memPages-1)))
+		if b < 0 {
+			b = 0
+		}
+		j.nParts = b
+		if b > 0 {
+			p0 := j.memPages - b
+			if p0 < 0 {
+				p0 = 0
+			}
+			j.frac0 = float64(p0) / fn
+			bigger := innerPages
+			if outerPages > bigger {
+				bigger = outerPages
+			}
+			j.chunkPages = int(math.Ceil(params(e).FudgeF*float64(bigger)/float64(b))) + 2
+		} else {
+			j.frac0 = 1
+		}
+	}
+	return j
+}
+
+func params(e *engine) Params { return e.cfg.Params }
+
+// route picks the partition for a hash value: 0 is the in-memory partition.
+func (j *hhJoinOp) route(h uint64) int {
+	if j.nParts == 0 {
+		return 0
+	}
+	// Use high bits for the memory/spill split and low bits for the spilled
+	// partition number, keeping the two decisions independent.
+	if float64(h>>40)/float64(1<<24) < j.frac0 {
+		return 0
+	}
+	return 1 + int(h%uint64(j.nParts))
+}
+
+func (j *hhJoinOp) open(p *sim.Proc) {
+	params := j.e.cfg.Params
+	// Open both inputs up front: a remote outer fragment starts producing
+	// into its one-page lookahead immediately, giving the independent
+	// parallelism between subtrees described in §3.1.2.
+	j.inner.open(p)
+	j.outer.open(p)
+
+	j.table = make(map[uint64][]Tuple)
+	for i := 0; i < j.nParts; i++ {
+		j.innerParts = append(j.innerParts, &partition{tpp: j.tpp, chunk: j.chunkPages})
+		j.outerParts = append(j.outerParts, &partition{tpp: j.tpp, chunk: j.chunkPages})
+	}
+
+	// Build phase: consume the inner completely.
+	for {
+		pg, ok := j.inner.next(p)
+		if !ok {
+			break
+		}
+		j.atSite.chargeCPU(p, params, params.HashInst*float64(len(pg.tuples)))
+		for _, t := range pg.tuples {
+			h := j.bkey.key(t)
+			if part := j.route(h); part == 0 {
+				j.table[h] = append(j.table[h], t)
+			} else {
+				j.innerParts[part-1].add(j.e, p, j.atSite, t)
+			}
+		}
+	}
+	for _, pt := range j.innerParts {
+		pt.flush(j.e, p, j.atSite)
+	}
+	j.phase = 0
+}
+
+// probe matches one tuple against the in-memory table, appending results.
+func (j *hhJoinOp) probe(p *sim.Proc, t Tuple, h uint64, pv []int64) {
+	params := j.e.cfg.Params
+	cands := j.table[h]
+	if len(cands) == 0 {
+		return
+	}
+	j.atSite.chargeCPU(p, params, params.CompareInst*float64(len(cands)))
+	var matched int
+	for _, b := range cands {
+		if eqVals(j.bkey.values(b), pv) {
+			j.outBuf = append(j.outBuf, merge(b, t))
+			matched++
+		}
+	}
+	if matched > 0 {
+		j.atSite.chargeCPU(p, params,
+			params.MoveInst*float64(j.e.cfg.Query.ResultTupleBytes)/4*float64(matched))
+		j.outCount += int64(matched)
+	}
+}
+
+func (j *hhJoinOp) next(p *sim.Proc) (page, bool) {
+	params := j.e.cfg.Params
+	for len(j.outBuf) < j.tpp && j.phase < 2 {
+		switch j.phase {
+		case 0:
+			pg, ok := j.outer.next(p)
+			if !ok {
+				for _, pt := range j.outerParts {
+					pt.flush(j.e, p, j.atSite)
+				}
+				j.phase = 1
+				j.partIdx = -1
+				j.partPage = 0
+				continue
+			}
+			j.atSite.chargeCPU(p, params, params.HashInst*float64(len(pg.tuples)))
+			for _, t := range pg.tuples {
+				h := j.pkey.key(t)
+				if part := j.route(h); part == 0 {
+					j.probe(p, t, h, j.pkey.values(t))
+				} else {
+					j.outerParts[part-1].add(j.e, p, j.atSite, t)
+				}
+			}
+		case 1:
+			if j.partIdx < 0 || j.partPage >= len(j.outerParts[j.partIdx].pages) {
+				// Advance to the next spilled partition pair: rebuild the
+				// table from the inner partition read back from temp disk.
+				j.partIdx++
+				j.partPage = 0
+				if j.partIdx >= j.nParts {
+					j.phase = 2
+					continue
+				}
+				j.table = make(map[uint64][]Tuple)
+				in := j.innerParts[j.partIdx]
+				for pi, tuples := range in.pages {
+					j.atSite.chargeCPU(p, params, params.DiskInst)
+					j.atSite.read(p, in.addrs[pi])
+					j.atSite.chargeCPU(p, params, params.HashInst*float64(len(tuples)))
+					for _, t := range tuples {
+						j.table[j.bkey.key(t)] = append(j.table[j.bkey.key(t)], t)
+					}
+				}
+				continue
+			}
+			out := j.outerParts[j.partIdx]
+			tuples := out.pages[j.partPage]
+			j.atSite.chargeCPU(p, params, params.DiskInst)
+			j.atSite.read(p, out.addrs[j.partPage])
+			j.partPage++
+			j.atSite.chargeCPU(p, params, params.HashInst*float64(len(tuples)))
+			for _, t := range tuples {
+				j.probe(p, t, j.pkey.key(t), j.pkey.values(t))
+			}
+		}
+	}
+	if len(j.outBuf) == 0 {
+		return page{}, false
+	}
+	n := j.tpp
+	if n > len(j.outBuf) {
+		n = len(j.outBuf)
+	}
+	out := page{tuples: j.outBuf[:n]}
+	j.outBuf = j.outBuf[n:]
+	return out, true
+}
+
+func (j *hhJoinOp) close(p *sim.Proc) {
+	j.inner.close(p)
+	j.outer.close(p)
+	j.table = nil
+	j.innerParts = nil
+	j.outerParts = nil
+}

@@ -1,0 +1,376 @@
+package exec
+
+import (
+	"fmt"
+
+	"hybridship/internal/catalog"
+	"hybridship/internal/sim"
+)
+
+// iterator is the open-next-close interface of the Volcano-style engine
+// (§3.2.1). next yields one page of tuples at a time; data flow is demand
+// driven.
+type iterator interface {
+	open(p *sim.Proc)
+	next(p *sim.Proc) (page, bool)
+	close(p *sim.Proc)
+}
+
+// scanOp produces all tuples of a base relation (§2.1). At the primary copy
+// it reads the relation's extent sequentially from the local disk. At the
+// client it reads the cached prefix from the client disk and faults the
+// remaining pages in from the home server, one page at a time.
+type scanOp struct {
+	e      *engine
+	rel    string
+	atSite *site
+
+	relPages    int
+	cachedPages int
+	tpp         int // tuples per page
+	nextPage    int
+	nextID      int64
+	tuples      int64
+	home        *site
+}
+
+func (e *engine) newScan(rel string, at catalog.SiteID) *scanOp {
+	r := e.cfg.Catalog.MustRelation(rel)
+	s := &scanOp{
+		e:        e,
+		rel:      rel,
+		atSite:   e.site(at),
+		relPages: r.Pages(e.cfg.Params.PageSize),
+		tpp:      tuplesPerPage(e.cfg.Params.PageSize, r.TupleBytes),
+		home:     e.site(r.Home),
+	}
+	if at == catalog.Client {
+		s.cachedPages = e.cfg.Catalog.CachedPages(rel)
+		if s.cachedPages > s.relPages {
+			s.cachedPages = s.relPages
+		}
+	} else if at != r.Home {
+		panic(fmt.Sprintf("exec: scan of %s bound to site %d, but home is %d", rel, at, r.Home))
+	}
+	return s
+}
+
+func (s *scanOp) open(p *sim.Proc) {
+	s.nextPage = 0
+	s.nextID = 0
+}
+
+func (s *scanOp) next(p *sim.Proc) (page, bool) {
+	if s.nextPage >= s.relPages {
+		return page{}, false
+	}
+	params := s.e.cfg.Params
+	pg := s.nextPage
+	s.nextPage++
+
+	switch {
+	case s.atSite.id != catalog.Client:
+		// Primary-copy scan: sequential read of the relation extent.
+		s.atSite.chargeCPU(p, params, params.DiskInst)
+		s.atSite.read(p, s.atSite.extents[s.rel].plus(pg))
+	case pg < s.cachedPages:
+		// Cached prefix on the client disk.
+		s.atSite.chargeCPU(p, params, params.DiskInst)
+		s.atSite.read(p, s.atSite.extents[s.rel].plus(pg))
+	default:
+		// Page fault: synchronous request/response with the home server.
+		// The paper notes DS pays for the lack of overlap here (§4.2.3).
+		s.atSite.chargeCPU(p, params, params.msgCPUInstr(ctrlMsgBytes))
+		s.e.net.Transmit(p, ctrlMsgBytes, false)
+		s.home.pager.fetch(p, s.home.extents[s.rel].plus(pg))
+		s.atSite.chargeCPU(p, params, params.msgCPUInstr(params.PageSize))
+	}
+
+	// Materialize the page's tuples.
+	n := s.tpp
+	rel := s.e.cfg.Catalog.MustRelation(s.rel)
+	if rem := int64(rel.Tuples) - s.nextID; int64(n) > rem {
+		n = int(rem)
+	}
+	out := page{tuples: make([]Tuple, 0, n)}
+	idx := s.e.relIdx[s.rel]
+	for i := 0; i < n; i++ {
+		out.tuples = append(out.tuples, baseTuple(len(s.e.relIdx), idx, s.nextID))
+		s.nextID++
+	}
+	s.tuples += int64(n)
+	return out, true
+}
+
+func (s *scanOp) close(p *sim.Proc) {}
+
+// selectOp applies a base relation's selection predicate, charging
+// CompareInst per input tuple, and re-batches survivors into full pages.
+type selectOp struct {
+	e      *engine
+	rel    string
+	atSite *site
+	child  iterator
+	buf    []Tuple
+	tpp    int
+	done   bool
+}
+
+func (e *engine) newSelect(rel string, at catalog.SiteID, child iterator) *selectOp {
+	return &selectOp{
+		e: e, rel: rel, atSite: e.site(at), child: child,
+		tpp: tuplesPerPage(e.cfg.Params.PageSize, e.cfg.Query.ResultTupleBytes),
+	}
+}
+
+func (s *selectOp) open(p *sim.Proc) {
+	s.child.open(p)
+	s.buf = nil
+	s.done = false
+}
+
+func (s *selectOp) next(p *sim.Proc) (page, bool) {
+	params := s.e.cfg.Params
+	idx := s.e.relIdx[s.rel]
+	pass := s.e.cfg.Pass
+	for len(s.buf) < s.tpp && !s.done {
+		in, ok := s.child.next(p)
+		if !ok {
+			s.done = true
+			break
+		}
+		s.atSite.chargeCPU(p, params, params.CompareInst*float64(len(in.tuples)))
+		for _, t := range in.tuples {
+			if pass == nil || pass(s.rel, t[idx]) {
+				s.buf = append(s.buf, t)
+			}
+		}
+	}
+	if len(s.buf) == 0 {
+		return page{}, false
+	}
+	n := s.tpp
+	if n > len(s.buf) {
+		n = len(s.buf)
+	}
+	out := page{tuples: s.buf[:n]}
+	s.buf = s.buf[n:]
+	return out, true
+}
+
+func (s *selectOp) close(p *sim.Proc) { s.child.close(p) }
+
+// aggOp is a blocking grouped aggregation (paper footnote 4): it consumes
+// its whole input, maintaining one running count per group (group = a hash
+// of the tuple's row ids modulo the query's GroupBy), then emits one tuple
+// per non-empty group. Like a selection it may run at its producer's site —
+// where it can shrink the data shipped to the client dramatically — or at
+// the consumer's.
+type aggOp struct {
+	e      *engine
+	atSite *site
+	child  iterator
+	groups int
+	tpp    int
+
+	counts  map[int64]int64
+	emitted []int64
+	pos     int
+}
+
+func (e *engine) newAgg(at catalog.SiteID, child iterator) *aggOp {
+	groups := e.cfg.Query.GroupBy
+	if groups < 1 {
+		groups = 1
+	}
+	return &aggOp{
+		e: e, atSite: e.site(at), child: child, groups: groups,
+		tpp: tuplesPerPage(e.cfg.Params.PageSize, e.cfg.Query.ResultTupleBytes),
+	}
+}
+
+func (a *aggOp) open(p *sim.Proc) {
+	params := a.e.cfg.Params
+	a.child.open(p)
+	a.counts = make(map[int64]int64)
+	for {
+		pg, ok := a.child.next(p)
+		if !ok {
+			break
+		}
+		a.atSite.chargeCPU(p, params, params.HashInst*float64(len(pg.tuples)))
+		for _, t := range pg.tuples {
+			var h uint64
+			for _, id := range t {
+				if id != absent {
+					h = mix64(h ^ uint64(id))
+				}
+			}
+			a.counts[int64(h%uint64(a.groups))]++
+		}
+	}
+	a.emitted = make([]int64, 0, len(a.counts))
+	for g := range a.counts {
+		a.emitted = append(a.emitted, g)
+	}
+	sortInt64s(a.emitted)
+	a.atSite.chargeCPU(p, params,
+		params.MoveInst*float64(a.e.cfg.Query.ResultTupleBytes)/4*float64(len(a.emitted)))
+	a.pos = 0
+}
+
+func (a *aggOp) next(p *sim.Proc) (page, bool) {
+	if a.pos >= len(a.emitted) {
+		return page{}, false
+	}
+	n := a.tpp
+	if rem := len(a.emitted) - a.pos; n > rem {
+		n = rem
+	}
+	out := page{tuples: make([]Tuple, 0, n)}
+	for i := 0; i < n; i++ {
+		g := a.emitted[a.pos]
+		a.pos++
+		// An aggregate output tuple carries (group, count) in its first two
+		// slots; it never participates in further joins.
+		t := make(Tuple, 2)
+		t[0], t[1] = g, a.counts[g]
+		out.tuples = append(out.tuples, t)
+	}
+	return out, true
+}
+
+func (a *aggOp) close(p *sim.Proc) { a.child.close(p) }
+
+// mix64 is the splitmix64 finalizer, used to spread correlated row ids
+// uniformly over aggregation groups.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func sortInt64s(xs []int64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// displayOp is the root operator: it drains its child at the client and
+// counts result tuples (§2.1).
+type displayOp struct {
+	e      *engine
+	child  iterator
+	tuples int64
+}
+
+func (d *displayOp) run(p *sim.Proc) {
+	params := d.e.cfg.Params
+	d.child.open(p)
+	for {
+		pg, ok := d.child.next(p)
+		if !ok {
+			break
+		}
+		d.tuples += int64(len(pg.tuples))
+		d.e.client.chargeCPU(p, params, params.DisplayInst*float64(len(pg.tuples)))
+	}
+	d.child.close(p)
+}
+
+// netPair decouples a producer fragment from its consumer across the
+// network. The producer runs as its own process that stays one page ahead of
+// the consumer (§3.2.1), giving pipelined parallelism; the consumer side is
+// an ordinary iterator.
+type netPair struct {
+	e        *engine
+	from, to *site
+	child    iterator
+	buf      *sim.Buffer
+	started  bool
+}
+
+func (e *engine) newNetPair(child iterator, from, to catalog.SiteID) *netPair {
+	return &netPair{e: e, from: e.site(from), to: e.site(to), child: child}
+}
+
+func (n *netPair) open(p *sim.Proc) {
+	if n.started {
+		return
+	}
+	n.started = true
+	n.buf = sim.NewBuffer(n.e.sim, fmt.Sprintf("net:%d->%d", n.from.id, n.to.id), n.e.cfg.Params.lookahead())
+	params := n.e.cfg.Params
+	n.e.sim.SpawnDaemon(fmt.Sprintf("send:%d->%d", n.from.id, n.to.id), func(pp *sim.Proc) {
+		n.child.open(pp)
+		for {
+			pg, ok := n.child.next(pp)
+			if !ok {
+				break
+			}
+			n.from.chargeCPU(pp, params, params.msgCPUInstr(params.PageSize))
+			n.e.net.Transmit(pp, params.PageSize, true)
+			n.buf.Put(pp, pg)
+		}
+		n.child.close(pp)
+		n.buf.Close()
+	})
+}
+
+func (n *netPair) next(p *sim.Proc) (page, bool) {
+	v, ok := n.buf.Get(p)
+	if !ok {
+		return page{}, false
+	}
+	n.to.chargeCPU(p, n.e.cfg.Params, n.e.cfg.Params.msgCPUInstr(n.e.cfg.Params.PageSize))
+	return v.(page), true
+}
+
+func (n *netPair) close(p *sim.Proc) {}
+
+// pageServer answers page-fault requests at a server: it reads the requested
+// page from the server disk and ships it to the client. One daemon per
+// server serves requests in FIFO order.
+type pageServer struct {
+	e    *engine
+	s    *site
+	reqs *sim.Buffer
+}
+
+type pageReq struct {
+	addr  diskAddr
+	reply *sim.Buffer
+}
+
+func newPageServer(e *engine, s *site) *pageServer {
+	ps := &pageServer{e: e, s: s, reqs: sim.NewBuffer(e.sim, fmt.Sprintf("pager:%d", s.id), 1024)}
+	e.sim.SpawnDaemon(fmt.Sprintf("pager:site%d", s.id), func(p *sim.Proc) {
+		params := e.cfg.Params
+		for {
+			v, ok := ps.reqs.Get(p)
+			if !ok {
+				return
+			}
+			r := v.(pageReq)
+			ps.s.chargeCPU(p, params, params.msgCPUInstr(ctrlMsgBytes)) // receive request
+			ps.s.chargeCPU(p, params, params.DiskInst)
+			ps.s.read(p, r.addr)
+			ps.s.chargeCPU(p, params, params.msgCPUInstr(params.PageSize)) // send page
+			e.net.Transmit(p, params.PageSize, true)
+			r.reply.Put(p, struct{}{})
+		}
+	})
+	return ps
+}
+
+// fetch performs one synchronous page fault on behalf of the caller.
+func (ps *pageServer) fetch(p *sim.Proc, addr diskAddr) {
+	reply := sim.NewBuffer(ps.e.sim, "fault-reply", 1)
+	ps.reqs.Put(p, pageReq{addr: addr, reply: reply})
+	reply.Get(p)
+}

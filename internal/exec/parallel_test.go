@@ -1,0 +1,45 @@
+package exec
+
+import (
+	"testing"
+
+	"hybridship/internal/plan"
+	"hybridship/internal/workload"
+)
+
+// balancedBushy builds a balanced bushy chain join over relations lo..hi
+// with query-shipping annotations.
+func balancedBushy(lo, hi int) *plan.Node {
+	if lo == hi {
+		s := plan.NewScan(workload.RelName(lo))
+		s.Ann = plan.AnnPrimary
+		return s
+	}
+	mid := (lo + hi) / 2
+	j := plan.NewJoin(balancedBushy(lo, mid), balancedBushy(mid+1, hi))
+	j.Ann = plan.AnnInner
+	return j
+}
+
+// TestIndependentParallelismAcrossServers checks the effect behind Figure 8:
+// the same bushy 10-way plan runs much faster when its relations (and hence
+// its joins, via the inner annotations) are spread over ten servers than
+// when everything shares one server's disk.
+func TestIndependentParallelismAcrossServers(t *testing.T) {
+	rt := func(servers int) float64 {
+		cfg := chainConfig(t, 10, servers, workload.Moderate, false)
+		root := plan.NewDisplay(balancedBushy(0, 9))
+		res, err := Run(cfg, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := workload.ExpectedResult(10, workload.Moderate); res.ResultTuples != want {
+			t.Fatalf("servers=%d: result %d, want %d", servers, res.ResultTuples, want)
+		}
+		return res.ResponseTime
+	}
+	one, ten := rt(1), rt(10)
+	if ten >= one/1.5 {
+		t.Errorf("10 servers RT %.1f vs 1 server %.1f: expected >= 1.5x speedup from parallelism", ten, one)
+	}
+}

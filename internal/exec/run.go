@@ -1,0 +1,216 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"hybridship/internal/catalog"
+	"hybridship/internal/disk"
+	"hybridship/internal/plan"
+	"hybridship/internal/sim"
+)
+
+// Run executes one query plan in a fresh simulation (all buffers empty at
+// the start of a query, per §4.1) and reports the measured metrics. The
+// plan's logical annotations are bound to physical sites at execution time.
+func Run(cfg Config, root *plan.Node) (Result, error) {
+	if cfg.Catalog == nil {
+		return Result{}, fmt.Errorf("exec: config needs catalog and query")
+	}
+	binding, err := plan.Bind(root, cfg.Catalog, catalog.Client)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunBound(cfg, root, binding)
+}
+
+// RunBound executes a plan under an explicit operator-to-site binding. This
+// is how §5's *static* plans run: their operator sites were frozen at
+// compile time, possibly under assumptions that no longer hold. Scans must
+// still be bound to the client or to the relation's true home (data can only
+// be read where it lives).
+func RunBound(cfg Config, root *plan.Node, binding plan.Binding) (Result, error) {
+	e, err := newEngine(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if root.Kind != plan.KindDisplay {
+		return Result{}, fmt.Errorf("exec: plan root must be display")
+	}
+	var bindErr error
+	root.Walk(func(n *plan.Node) {
+		site, ok := binding[n]
+		if !ok {
+			bindErr = fmt.Errorf("exec: node %v missing from binding", n.Kind)
+			return
+		}
+		if site != catalog.Client && (int(site) < 0 || int(site) >= cfg.Catalog.NumServers) {
+			bindErr = fmt.Errorf("exec: node %v bound to nonexistent site %d", n.Kind, site)
+		}
+	})
+	if bindErr != nil {
+		return Result{}, bindErr
+	}
+
+	child := e.build(root.Left, binding, binding[root])
+	display := &displayOp{e: e, child: child}
+
+	var finished float64
+	e.sim.Spawn("query", func(p *sim.Proc) {
+		display.run(p)
+		finished = e.sim.Now()
+	})
+	e.sim.Run()
+
+	res := Result{
+		ResponseTime: finished,
+		ResultTuples: display.tuples,
+		NetStats:     e.net.Stats(),
+		DiskStats:    make(map[catalog.SiteID]disk.Stats),
+	}
+	res.PagesSent = res.NetStats.DataPages
+	res.Messages = res.NetStats.Messages
+	res.DiskStats[catalog.Client] = e.client.aggregateStats()
+	for _, s := range e.servers {
+		res.DiskStats[s.id] = s.aggregateStats()
+	}
+	return res, nil
+}
+
+// build converts a plan subtree into an iterator running at consumerSite's
+// process, inserting a network operator pair wherever a producer is bound to
+// a different site than its consumer (§3.2.1).
+func (e *engine) build(n *plan.Node, b plan.Binding, consumerSite catalog.SiteID) iterator {
+	site := b[n]
+	var it iterator
+	switch n.Kind {
+	case plan.KindScan:
+		it = e.newScan(n.Table, site)
+	case plan.KindSelect:
+		child := e.build(n.Left, b, site)
+		it = e.newSelect(n.Rel, site, child)
+	case plan.KindAgg:
+		child := e.build(n.Left, b, site)
+		it = e.newAgg(site, child)
+	case plan.KindJoin:
+		inner := e.build(n.Left, b, site)
+		outer := e.build(n.Right, b, site)
+		it = e.newHHJoin(site, inner, outer, n.Left.BaseTables(), n.Right.BaseTables(),
+			e.estPages(n.Left), e.estPages(n.Right))
+	default:
+		panic(fmt.Sprintf("exec: cannot build operator for %v", n.Kind))
+	}
+	if site != consumerSite {
+		it = e.newNetPair(it, site, consumerSite)
+	}
+	return it
+}
+
+// estCard estimates a subtree's output cardinality and tuple width from
+// catalog statistics, the same way the optimizer's cost model does. The
+// engine uses it only to size join memory allocations; actual cardinalities
+// are measured by executing the plan.
+func (e *engine) estCard(n *plan.Node) (float64, int) {
+	switch n.Kind {
+	case plan.KindScan:
+		r := e.cfg.Catalog.MustRelation(n.Table)
+		return float64(r.Tuples), r.TupleBytes
+	case plan.KindSelect:
+		card, bytes := e.estCard(n.Left)
+		return card * e.cfg.Query.SelectSelectivity(n.Rel), bytes
+	case plan.KindJoin:
+		cl, _ := e.estCard(n.Left)
+		cr, _ := e.estCard(n.Right)
+		sel := e.cfg.Query.JoinSelectivity(n.Left.BaseTables(), n.Right.BaseTables())
+		return cl * cr * sel, e.cfg.Query.ResultTupleBytes
+	case plan.KindAgg:
+		card, bytes := e.estCard(n.Left)
+		if g := float64(e.cfg.Query.GroupBy); g > 0 && g < card {
+			card = g
+		}
+		return card, bytes
+	}
+	panic("exec: estCard on non-relational node")
+}
+
+func (e *engine) estPages(n *plan.Node) int {
+	card, bytes := e.estCard(n)
+	if card <= 0 {
+		return 0
+	}
+	return int(math.Ceil(card / float64(tuplesPerPage(e.cfg.Params.PageSize, bytes))))
+}
+
+// QueryRun is one query instance in a multi-query execution: a plan plus the
+// virtual time at which it is submitted.
+type QueryRun struct {
+	Plan  *plan.Node
+	Start float64
+}
+
+// MultiResult reports a multi-query execution: per-query outcomes plus the
+// shared traffic counters.
+type MultiResult struct {
+	PerQuery     []QueryResult
+	TotalElapsed float64
+	PagesSent    int64
+	Messages     int64
+}
+
+// QueryResult is one query's outcome within a multi-query run.
+type QueryResult struct {
+	ResponseTime float64 // from the query's submission to its last tuple
+	ResultTuples int64
+}
+
+// RunMulti executes several instances of the same query concurrently in one
+// simulation, sharing every resource — the "multi-query workloads" the paper
+// leaves as future work (§7). All instances run against cfg's query and
+// catalog; each may use a different plan and submission time.
+func RunMulti(cfg Config, queries []QueryRun) (MultiResult, error) {
+	if cfg.Catalog == nil {
+		return MultiResult{}, fmt.Errorf("exec: config needs catalog and query")
+	}
+	if len(queries) == 0 {
+		return MultiResult{}, fmt.Errorf("exec: no queries to run")
+	}
+	e, err := newEngine(cfg)
+	if err != nil {
+		return MultiResult{}, err
+	}
+	results := make([]QueryResult, len(queries))
+	for i, qr := range queries {
+		if qr.Start < 0 {
+			return MultiResult{}, fmt.Errorf("exec: query %d has negative start time", i)
+		}
+		binding, err := plan.Bind(qr.Plan, cfg.Catalog, catalog.Client)
+		if err != nil {
+			return MultiResult{}, fmt.Errorf("exec: query %d: %w", i, err)
+		}
+		if qr.Plan.Kind != plan.KindDisplay {
+			return MultiResult{}, fmt.Errorf("exec: query %d: plan root must be display", i)
+		}
+		i, qr, binding := i, qr, binding
+		e.sim.Spawn(fmt.Sprintf("query%d", i), func(p *sim.Proc) {
+			if qr.Start > 0 {
+				p.Hold(qr.Start)
+			}
+			// Operators are built at submission time, so temp extents are
+			// allocated in arrival order like a real shared system.
+			display := &displayOp{e: e, child: e.build(qr.Plan.Left, binding, binding[qr.Plan])}
+			display.run(p)
+			results[i] = QueryResult{
+				ResponseTime: e.sim.Now() - qr.Start,
+				ResultTuples: display.tuples,
+			}
+		})
+	}
+	elapsed := e.sim.Run()
+	st := e.net.Stats()
+	return MultiResult{
+		PerQuery:     results,
+		TotalElapsed: elapsed,
+		PagesSent:    st.DataPages,
+		Messages:     st.Messages,
+	}, nil
+}

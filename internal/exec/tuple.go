@@ -1,0 +1,133 @@
+package exec
+
+import (
+	"hybridship/internal/query"
+)
+
+// Tuple is a (possibly intermediate) result tuple: the row ids of the base
+// relations joined into it, indexed by the relation's position in the query,
+// with -1 for relations not yet joined. The engine computes join attributes
+// from row ids via the workload's Next function, so real matching is
+// performed — result cardinalities are measured, not assumed.
+type Tuple []int64
+
+const absent = int64(-1)
+
+// page is the unit of data flow between operators: up to tuplesPerPage
+// tuples.
+type page struct {
+	tuples []Tuple
+}
+
+// tuplesPerPage reports how many tuples of the given width fit on a page.
+func tuplesPerPage(pageSize, tupleBytes int) int {
+	n := pageSize / tupleBytes
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// baseTuple creates a fresh tuple for row id of the relation at slot idx.
+func baseTuple(nRels, idx int, id int64) Tuple {
+	t := make(Tuple, nRels)
+	for i := range t {
+		t[i] = absent
+	}
+	t[idx] = id
+	return t
+}
+
+// merge combines the slots of two tuples from disjoint relation sets.
+func merge(a, b Tuple) Tuple {
+	out := make(Tuple, len(a))
+	for i := range a {
+		switch {
+		case a[i] != absent:
+			out[i] = a[i]
+		case b[i] != absent:
+			out[i] = b[i]
+		default:
+			out[i] = absent
+		}
+	}
+	return out
+}
+
+// joinKeys evaluates, for one side of a join, the key values of the crossing
+// predicates. For predicate A.next = B.id the side containing A contributes
+// Next(A, id_A) and the side containing B contributes id_B; equality of the
+// two vectors is exactly the predicate conjunction.
+type keyer struct {
+	// per crossing predicate: slot to read and whether to apply Next
+	slots   []int
+	applyNx []bool
+	rels    []string
+	next    func(rel string, id int64) int64
+}
+
+// newKeyer prepares key extraction for one join side. side maps relation
+// names to true for relations available on that side.
+func newKeyer(q *query.Query, relIdx map[string]int, side map[string]bool, other map[string]bool,
+	next func(string, int64) int64) *keyer {
+	k := &keyer{next: next}
+	for _, p := range q.CrossingPreds(side, other) {
+		switch {
+		case side[p.A]:
+			k.slots = append(k.slots, relIdx[p.A])
+			k.applyNx = append(k.applyNx, true)
+			k.rels = append(k.rels, p.A)
+		case side[p.B]:
+			k.slots = append(k.slots, relIdx[p.B])
+			k.applyNx = append(k.applyNx, false)
+			k.rels = append(k.rels, p.B)
+		}
+	}
+	return k
+}
+
+// key computes the composite join key for a tuple. Collisions are resolved
+// by exact comparison in the join (eq below), as in a real hash join.
+func (k *keyer) key(t Tuple) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i, slot := range k.slots {
+		v := t[slot]
+		if k.applyNx[i] {
+			v = k.next(k.rels[i], v)
+		}
+		for s := 0; s < 64; s += 8 {
+			h ^= uint64(v>>s) & 0xff
+			h *= prime64
+		}
+	}
+	return h
+}
+
+// values returns the raw key vector, used for exact equality.
+func (k *keyer) values(t Tuple) []int64 {
+	out := make([]int64, len(k.slots))
+	for i, slot := range k.slots {
+		v := t[slot]
+		if k.applyNx[i] {
+			v = k.next(k.rels[i], v)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func eqVals(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,62 @@
+// Package netsim models the interconnect of the paper's simulator: a single
+// shared FIFO link with a configured bandwidth (§3.2.2). The details of a
+// particular technology (Ethernet, ATM, ...) are deliberately not modeled.
+// CPU costs for sending and receiving messages are charged by the execution
+// engine at the endpoint CPUs; this package accounts only for time on the
+// wire and for traffic statistics.
+package netsim
+
+import "hybridship/internal/sim"
+
+// Stats aggregates network traffic counters.
+type Stats struct {
+	Messages  int64 // total messages (control and data)
+	DataPages int64 // messages that carried one data page
+	Bytes     int64 // total bytes on the wire
+	WireTime  float64
+}
+
+// Network is the shared client-server interconnect.
+type Network struct {
+	link      *sim.Resource
+	bandwidth float64 // bits per second
+	stats     Stats
+}
+
+// New creates a network with the given bandwidth in bits per second.
+func New(s *sim.Simulator, bitsPerSec float64) *Network {
+	if bitsPerSec <= 0 {
+		panic("netsim: bandwidth must be positive")
+	}
+	return &Network{link: sim.NewResource(s, "net", 1), bandwidth: bitsPerSec}
+}
+
+// TransferTime returns the time on the wire for a message of the given size.
+func (n *Network) TransferTime(bytes int) float64 {
+	return float64(bytes) * 8 / n.bandwidth
+}
+
+// Transmit occupies the link for the duration of a message of the given size.
+// isDataPage marks transfers of full data pages, which are the unit of the
+// paper's "pages sent" communication metric.
+func (n *Network) Transmit(p *sim.Proc, bytes int, isDataPage bool) {
+	t := n.TransferTime(bytes)
+	n.stats.Messages++
+	n.stats.Bytes += int64(bytes)
+	n.stats.WireTime += t
+	if isDataPage {
+		n.stats.DataPages++
+	}
+	n.link.Use(p, t)
+}
+
+// Stats returns a copy of the traffic counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Utilization returns wire time divided by elapsed virtual time.
+func (n *Network) Utilization(now float64) float64 {
+	if now > 0 {
+		return n.stats.WireTime / now
+	}
+	return 0
+}

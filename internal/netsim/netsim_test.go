@@ -1,0 +1,72 @@
+package netsim
+
+import (
+	"testing"
+
+	"hybridship/internal/sim"
+)
+
+func TestTransferTime(t *testing.T) {
+	s := sim.New()
+	n := New(s, 100e6) // 100 Mbit/s
+	// A 4096-byte page is 32768 bits: 327.68 microseconds on the wire.
+	got := n.TransferTime(4096)
+	want := 4096 * 8 / 100e6
+	if got != want {
+		t.Errorf("TransferTime(4096) = %g, want %g", got, want)
+	}
+}
+
+func TestTransmitOccupiesLink(t *testing.T) {
+	s := sim.New()
+	n := New(s, 100e6)
+	var done []float64
+	for i := 0; i < 3; i++ {
+		s.Spawn("sender", func(p *sim.Proc) {
+			n.Transmit(p, 4096, true)
+			done = append(done, s.Now())
+		})
+	}
+	s.Run()
+	// FIFO link: three page transfers serialize.
+	per := 4096 * 8 / 100e6
+	for i, d := range done {
+		want := per * float64(i+1)
+		if diff := d - want; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("transfer %d finished at %g, want %g", i, d, want)
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := sim.New()
+	n := New(s, 100e6)
+	s.Spawn("sender", func(p *sim.Proc) {
+		n.Transmit(p, 4096, true)
+		n.Transmit(p, 128, false) // control message
+		n.Transmit(p, 4096, true)
+	})
+	end := s.Run()
+	st := n.Stats()
+	if st.Messages != 3 {
+		t.Errorf("messages = %d, want 3", st.Messages)
+	}
+	if st.DataPages != 2 {
+		t.Errorf("data pages = %d, want 2", st.DataPages)
+	}
+	if want := int64(4096 + 128 + 4096); st.Bytes != want {
+		t.Errorf("bytes = %d, want %d", st.Bytes, want)
+	}
+	if u := n.Utilization(end); u < 0.99 {
+		t.Errorf("a busy sender should saturate the link; utilization = %.2f", u)
+	}
+}
+
+func TestInvalidBandwidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero bandwidth")
+		}
+	}()
+	New(sim.New(), 0)
+}

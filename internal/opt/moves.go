@@ -1,0 +1,179 @@
+package opt
+
+import (
+	"hybridship/internal/plan"
+)
+
+// moveKind enumerates the plan transformations of §3.1.1.
+type moveKind int
+
+const (
+	// Join ordering (moves 1-4 of the paper).
+	mvAssocLeftToRight moveKind = iota // (A⋈B)⋈C → A⋈(B⋈C)
+	mvExchangeLeft                     // (A⋈B)⋈C → B⋈(A⋈C)
+	mvAssocRightToLeft                 // A⋈(B⋈C) → (A⋈B)⋈C
+	mvExchangeRight                    // A⋈(B⋈C) → (A⋈C)⋈B
+	mvCommute                          // A⋈B → B⋈A (IK90; optional)
+	mvSwapAdjacent                     // (X⋈A)⋈B → (X⋈B)⋈A; left-deep mode only
+	// Site selection (moves 5-7 of the paper).
+	mvJoinAnn   // change a join's annotation
+	mvSelectAnn // toggle a select between consumer and producer
+	mvScanAnn   // toggle a scan between client and primary copy
+)
+
+// move is one candidate transformation: a node (identified by pre-order
+// index, so it survives tree cloning) plus a kind and, for annotation moves,
+// the target annotation.
+type move struct {
+	nodeIdx int
+	kind    moveKind
+	ann     plan.Annotation
+}
+
+// nodeByIndex returns the pre-order i-th node of the tree.
+func nodeByIndex(root *plan.Node, idx int) *plan.Node {
+	var found *plan.Node
+	i := 0
+	root.Walk(func(n *plan.Node) {
+		if i == idx {
+			found = n
+		}
+		i++
+	})
+	return found
+}
+
+// candidateMoves enumerates every legal move on the plan under the
+// optimizer's policy. Join-order moves are offered only when the resulting
+// joins avoid Cartesian products; annotation moves are offered only for
+// annotations the policy allows (Table 1) — which is how the optimizer is
+// "configured to generate plans from one of the three policies" (§3.1.1).
+func (o *Optimizer) candidateMoves(root *plan.Node) []move {
+	q := o.model.Query
+	var moves []move
+	idx := -1
+	root.Walk(func(n *plan.Node) {
+		idx++
+		i := idx
+		switch n.Kind {
+		case plan.KindJoin:
+			if !o.opts.FixedJoinOrder && o.opts.LeftDeepOnly {
+				// Moves closed over the left-deep space: swap the outer with
+				// the adjacent lower outer, and commute the bottom join.
+				// Both are compositions of the paper's moves 1-4 (e.g.
+				// (X⋈A)⋈B → X⋈(A⋈B) → (X⋈B)⋈A).
+				a, b := n.Left, n.Right
+				if a.Kind == plan.KindJoin {
+					tx, ta, tb := a.Left.BaseTables(), a.Right.BaseTables(), b.BaseTables()
+					if q.Connected(tx, tb) && q.Connected(union(tx, tb), ta) {
+						moves = append(moves, move{i, mvSwapAdjacent, 0})
+					}
+				}
+				if o.opts.Commutativity && a.Kind != plan.KindJoin {
+					moves = append(moves, move{i, mvCommute, 0})
+				}
+			}
+			if !o.opts.FixedJoinOrder && !o.opts.LeftDeepOnly {
+				a, b := n.Left, n.Right
+				if a.Kind == plan.KindJoin {
+					// (A⋈B)⋈C with A=a.Left, B=a.Right, C=b
+					ta, tb, tc := a.Left.BaseTables(), a.Right.BaseTables(), b.BaseTables()
+					if q.Connected(tb, tc) && q.Connected(ta, union(tb, tc)) {
+						moves = append(moves, move{i, mvAssocLeftToRight, 0})
+					}
+					if q.Connected(ta, tc) && q.Connected(tb, union(ta, tc)) {
+						moves = append(moves, move{i, mvExchangeLeft, 0})
+					}
+				}
+				if b.Kind == plan.KindJoin {
+					// A⋈(B⋈C) with A=a, B=b.Left, C=b.Right
+					ta, tb, tc := a.BaseTables(), b.Left.BaseTables(), b.Right.BaseTables()
+					if q.Connected(ta, tb) && q.Connected(union(ta, tb), tc) {
+						moves = append(moves, move{i, mvAssocRightToLeft, 0})
+					}
+					if q.Connected(ta, tc) && q.Connected(union(ta, tc), tb) {
+						moves = append(moves, move{i, mvExchangeRight, 0})
+					}
+				}
+				if o.opts.Commutativity {
+					moves = append(moves, move{i, mvCommute, 0})
+				}
+			}
+			for _, ann := range plan.AllowedAnnotations(plan.KindJoin, o.opts.Policy) {
+				if ann != n.Ann {
+					moves = append(moves, move{i, mvJoinAnn, ann})
+				}
+			}
+		case plan.KindSelect, plan.KindAgg:
+			for _, ann := range plan.AllowedAnnotations(n.Kind, o.opts.Policy) {
+				if ann != n.Ann {
+					moves = append(moves, move{i, mvSelectAnn, ann})
+				}
+			}
+		case plan.KindScan:
+			for _, ann := range plan.AllowedAnnotations(plan.KindScan, o.opts.Policy) {
+				if ann != n.Ann {
+					moves = append(moves, move{i, mvScanAnn, ann})
+				}
+			}
+		}
+	})
+	return moves
+}
+
+// neighbor returns a random legal transformation of the plan, or ok=false if
+// the plan admits no moves. The returned tree is a fresh clone; the input is
+// not modified. Neighbors may be ill-formed (annotation cycles); callers
+// must validate via binding, per §2.2.3 ("it is very easy to sort out
+// ill-formed plans during query optimization").
+func (o *Optimizer) neighbor(root *plan.Node) (*plan.Node, bool) {
+	moves := o.candidateMoves(root)
+	if len(moves) == 0 {
+		return nil, false
+	}
+	mv := moves[o.rng.Intn(len(moves))]
+	next := root.Clone()
+	n := nodeByIndex(next, mv.nodeIdx)
+	switch mv.kind {
+	case mvAssocLeftToRight:
+		// (A⋈B)⋈C → A⋈(B⋈C); the lower join node is reused for B⋈C.
+		k := n.Left
+		a, b, c := k.Left, k.Right, n.Right
+		k.Left, k.Right = b, c
+		n.Left, n.Right = a, k
+	case mvExchangeLeft:
+		// (A⋈B)⋈C → B⋈(A⋈C)
+		k := n.Left
+		a, b, c := k.Left, k.Right, n.Right
+		k.Left, k.Right = a, c
+		n.Left, n.Right = b, k
+	case mvAssocRightToLeft:
+		// A⋈(B⋈C) → (A⋈B)⋈C
+		k := n.Right
+		a, b, c := n.Left, k.Left, k.Right
+		k.Left, k.Right = a, b
+		n.Left, n.Right = k, c
+	case mvExchangeRight:
+		// A⋈(B⋈C) → (A⋈C)⋈B
+		k := n.Right
+		a, b, c := n.Left, k.Left, k.Right
+		k.Left, k.Right = a, c
+		n.Left, n.Right = k, b
+	case mvSwapAdjacent:
+		k := n.Left
+		k.Right, n.Right = n.Right, k.Right
+	case mvCommute:
+		n.Left, n.Right = n.Right, n.Left
+		// Inner/outer annotations follow their operands across the swap so
+		// the commute is a pure build/probe-side change, not a site change.
+		switch n.Ann {
+		case plan.AnnInner:
+			n.Ann = plan.AnnOuter
+		case plan.AnnOuter:
+			n.Ann = plan.AnnInner
+		}
+	case mvJoinAnn, mvSelectAnn, mvScanAnn:
+		n.Ann = mv.ann
+	}
+	return next, true
+}

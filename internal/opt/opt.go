@@ -1,0 +1,367 @@
+// Package opt implements the paper's randomized two-phase query optimizer
+// (§3.1): iterative improvement (II) followed by simulated annealing (SA),
+// after Ioannidis and Kang (SIGMOD 1990). The optimizer performs join
+// ordering and site selection simultaneously, explores the full
+// hybrid-shipping search space, and can be constrained to produce pure
+// data-shipping or query-shipping plans by enabling, disabling, or
+// restricting moves exactly as described in §3.1.1.
+//
+// It also provides the building blocks for the §5 study of pre-compiled
+// plans: site selection over a fixed join order (the runtime half of 2-step
+// optimization) and optimization against an "assumed" catalog (the compile
+// time half).
+package opt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"hybridship/internal/catalog"
+	"hybridship/internal/cost"
+	"hybridship/internal/plan"
+)
+
+// Options configures one optimizer instance.
+type Options struct {
+	Policy plan.Policy
+	Metric cost.Metric
+	Seed   int64
+
+	// Commutativity enables the A⋈B → B⋈A move. The paper's §3.1.1 move
+	// list contains only the four associativity/exchange moves; IK90's move
+	// set includes commutativity, and the build side matters for hybrid
+	// hash joins with asymmetric inputs, so it defaults to on.
+	Commutativity bool
+
+	// FixedJoinOrder restricts the search to site-annotation moves only
+	// (moves 5-7). This is the runtime phase of 2-step optimization (§5).
+	FixedJoinOrder bool
+
+	// LeftDeepOnly restricts the search to left-deep join trees (§5.2's
+	// "deep" plans: minimal intermediate results, no independent
+	// parallelism). Join-order exploration then uses adjacent-operand swaps
+	// and bottom-join commutes, which stay inside the left-deep space.
+	LeftDeepOnly bool
+
+	// II/SA parameters, following the settings of IK90 (§3.1.1 note 6).
+	IIStarts       int     // random starts for iterative improvement
+	IIMaxFailures  int     // consecutive non-improving tries = local minimum
+	SATempFactor   float64 // T0 = SATempFactor * cost(best II plan)
+	SATempReduce   float64 // temperature decay per stage
+	SAInnerFactor  int     // moves per stage = SAInnerFactor * #joins
+	SAFrozenStages int     // stages without improvement before freezing
+}
+
+// DefaultOptions returns the IK90-derived defaults used in the study.
+func DefaultOptions(policy plan.Policy, metric cost.Metric, seed int64) Options {
+	return Options{
+		Policy:         policy,
+		Metric:         metric,
+		Seed:           seed,
+		Commutativity:  true,
+		IIStarts:       10,
+		IIMaxFailures:  64,
+		SATempFactor:   0.1,
+		SATempReduce:   0.95,
+		SAInnerFactor:  16,
+		SAFrozenStages: 4,
+	}
+}
+
+// Optimizer searches for a good plan for one query against one catalog.
+type Optimizer struct {
+	model *cost.Model
+	opts  Options
+	rng   *rand.Rand
+}
+
+// New creates an optimizer. The model carries the catalog, query and cost
+// parameters.
+func New(model *cost.Model, opts Options) *Optimizer {
+	if opts.IIStarts <= 0 {
+		opts.IIStarts = 1
+	}
+	if opts.IIMaxFailures <= 0 {
+		opts.IIMaxFailures = 64
+	}
+	if opts.SATempFactor <= 0 {
+		opts.SATempFactor = 0.1
+	}
+	if opts.SATempReduce <= 0 || opts.SATempReduce >= 1 {
+		opts.SATempReduce = 0.95
+	}
+	if opts.SAInnerFactor <= 0 {
+		opts.SAInnerFactor = 16
+	}
+	if opts.SAFrozenStages <= 0 {
+		opts.SAFrozenStages = 4
+	}
+	return &Optimizer{model: model, opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+}
+
+// Result is an optimized plan with its predicted metrics.
+type Result struct {
+	Plan     *plan.Node
+	Binding  plan.Binding
+	Estimate cost.Estimate
+}
+
+func (o *Optimizer) value(e cost.Estimate) float64 { return e.Value(o.opts.Metric) }
+
+// evaluate binds and estimates a plan; ok is false for ill-formed plans.
+func (o *Optimizer) evaluate(root *plan.Node) (plan.Binding, cost.Estimate, bool) {
+	b, err := plan.Bind(root, o.model.Catalog, catalog.Client)
+	if err != nil {
+		return nil, cost.Estimate{}, false
+	}
+	return b, o.model.Estimate(root, b), true
+}
+
+// Optimize runs two-phase optimization (II then SA) and returns the best
+// plan found.
+func (o *Optimizer) Optimize() (Result, error) {
+	start, err := o.RandomPlan()
+	if err != nil {
+		return Result{}, err
+	}
+	best := o.iterativeImprovement(start)
+	best = o.simulatedAnnealing(best)
+	return best, nil
+}
+
+// OptimizeFrom runs site-selection-only simulated annealing starting from
+// the given plan, keeping its join order (the runtime phase of 2-step
+// optimization). The plan's annotations are kept as the starting state.
+func (o *Optimizer) OptimizeFrom(root *plan.Node) (Result, error) {
+	r := root.Clone()
+	b, e, ok := o.evaluate(r)
+	if !ok {
+		return Result{}, fmt.Errorf("opt: starting plan is ill-formed")
+	}
+	cur := Result{Plan: r, Binding: b, Estimate: e}
+	fixed := o.opts.FixedJoinOrder
+	o.opts.FixedJoinOrder = true
+	res := o.simulatedAnnealing(cur)
+	o.opts.FixedJoinOrder = fixed
+	return res, nil
+}
+
+// iterativeImprovement performs IIStarts descents from random plans and
+// returns the best local minimum.
+func (o *Optimizer) iterativeImprovement(start Result) Result {
+	best := start
+	for i := 0; i < o.opts.IIStarts; i++ {
+		cur := start
+		if i > 0 {
+			p, err := o.RandomPlan()
+			if err != nil {
+				continue
+			}
+			cur = p
+		}
+		failures := 0
+		for failures < o.opts.IIMaxFailures {
+			next, ok := o.neighbor(cur.Plan)
+			if !ok {
+				break // no legal moves at all (e.g. DS 2-way join)
+			}
+			b, e, valid := o.evaluate(next)
+			if valid && o.value(e) < o.value(cur.Estimate) {
+				cur = Result{Plan: next, Binding: b, Estimate: e}
+				failures = 0
+			} else {
+				failures++
+			}
+		}
+		if o.value(cur.Estimate) < o.value(best.Estimate) {
+			best = cur
+		}
+	}
+	return best
+}
+
+// simulatedAnnealing refines a plan with the IK90 annealing schedule.
+func (o *Optimizer) simulatedAnnealing(start Result) Result {
+	cur, best := start, start
+	joins := len(start.Plan.Joins())
+	if joins == 0 {
+		return best
+	}
+	temp := o.opts.SATempFactor * o.value(start.Estimate)
+	if temp <= 0 {
+		temp = 1e-9
+	}
+	floor := 1e-4 * o.value(start.Estimate)
+	if floor <= 0 {
+		floor = 1e-12
+	}
+	stagesSinceImprove := 0
+	for stagesSinceImprove < o.opts.SAFrozenStages || temp > floor {
+		improved := false
+		inner := o.opts.SAInnerFactor * joins
+		for i := 0; i < inner; i++ {
+			next, ok := o.neighbor(cur.Plan)
+			if !ok {
+				return best
+			}
+			b, e, valid := o.evaluate(next)
+			if !valid {
+				continue
+			}
+			delta := o.value(e) - o.value(cur.Estimate)
+			if delta <= 0 || o.rng.Float64() < math.Exp(-delta/temp) {
+				cur = Result{Plan: next, Binding: b, Estimate: e}
+				if o.value(e) < o.value(best.Estimate) {
+					best = cur
+					improved = true
+				}
+			}
+		}
+		if improved {
+			stagesSinceImprove = 0
+		} else {
+			stagesSinceImprove++
+		}
+		temp *= o.opts.SATempReduce
+	}
+	return best
+}
+
+// RandomPlan draws a random, well-formed plan from the policy's search
+// space, avoiding Cartesian products.
+func (o *Optimizer) RandomPlan() (Result, error) {
+	q := o.model.Query
+	if err := q.Validate(); err != nil {
+		return Result{}, err
+	}
+	for attempt := 0; attempt < 100; attempt++ {
+		tree, err := o.randomJoinTree()
+		if err != nil {
+			return Result{}, err
+		}
+		if q.GroupBy > 0 {
+			tree = plan.NewAgg(tree)
+		}
+		root := plan.NewDisplay(tree)
+		o.randomizeAnnotations(root)
+		if b, e, ok := o.evaluate(root); ok {
+			return Result{Plan: root, Binding: b, Estimate: e}, nil
+		}
+	}
+	return Result{}, fmt.Errorf("opt: could not generate a well-formed plan after 100 attempts")
+}
+
+// randomJoinTree builds a random join tree over the query's relations by
+// repeatedly joining two connected components (or, in left-deep mode, by
+// extending a single chain with one connected relation at a time).
+func (o *Optimizer) randomJoinTree() (*plan.Node, error) {
+	if o.opts.LeftDeepOnly {
+		return o.randomLeftDeepTree()
+	}
+	q := o.model.Query
+	type comp struct {
+		node   *plan.Node
+		tables map[string]bool
+	}
+	var comps []comp
+	for _, r := range q.Relations {
+		var n *plan.Node = plan.NewScan(r)
+		if _, hasSel := q.Selects[r]; hasSel {
+			n = plan.NewSelect(n, r)
+		}
+		comps = append(comps, comp{node: n, tables: map[string]bool{r: true}})
+	}
+	for len(comps) > 1 {
+		// Collect joinable pairs.
+		type pair struct{ i, j int }
+		var pairs []pair
+		for i := 0; i < len(comps); i++ {
+			for j := i + 1; j < len(comps); j++ {
+				if q.Connected(comps[i].tables, comps[j].tables) {
+					pairs = append(pairs, pair{i, j})
+				}
+			}
+		}
+		if len(pairs) == 0 {
+			return nil, fmt.Errorf("opt: query join graph is disconnected")
+		}
+		pk := pairs[o.rng.Intn(len(pairs))]
+		i, j := pk.i, pk.j
+		if o.rng.Intn(2) == 0 {
+			i, j = j, i
+		}
+		joined := comp{
+			node:   plan.NewJoin(comps[i].node, comps[j].node),
+			tables: union(comps[i].tables, comps[j].tables),
+		}
+		// Remove the two inputs (higher index first) and append the join.
+		hi, lo := pk.i, pk.j
+		if hi < lo {
+			hi, lo = lo, hi
+		}
+		comps = append(comps[:hi], comps[hi+1:]...)
+		comps = append(comps[:lo], comps[lo+1:]...)
+		comps = append(comps, joined)
+	}
+	return comps[0].node, nil
+}
+
+// randomizeAnnotations assigns each operator a random annotation allowed by
+// the policy.
+func (o *Optimizer) randomizeAnnotations(root *plan.Node) {
+	root.Walk(func(n *plan.Node) {
+		anns := plan.AllowedAnnotations(n.Kind, o.opts.Policy)
+		n.Ann = anns[o.rng.Intn(len(anns))]
+	})
+}
+
+// randomLeftDeepTree grows a left-deep chain from a random starting
+// relation, adding one connected relation as the outer at each step.
+func (o *Optimizer) randomLeftDeepTree() (*plan.Node, error) {
+	q := o.model.Query
+	leaf := func(r string) *plan.Node {
+		var n *plan.Node = plan.NewScan(r)
+		if _, hasSel := q.Selects[r]; hasSel {
+			n = plan.NewSelect(n, r)
+		}
+		return n
+	}
+	remaining := make(map[string]bool, len(q.Relations))
+	for _, r := range q.Relations {
+		remaining[r] = true
+	}
+	start := q.Relations[o.rng.Intn(len(q.Relations))]
+	delete(remaining, start)
+	tree := leaf(start)
+	joined := map[string]bool{start: true}
+	for len(remaining) > 0 {
+		var candidates []string
+		for r := range remaining {
+			if q.Connected(joined, map[string]bool{r: true}) {
+				candidates = append(candidates, r)
+			}
+		}
+		if len(candidates) == 0 {
+			return nil, fmt.Errorf("opt: query join graph is disconnected")
+		}
+		sort.Strings(candidates) // deterministic order under a seed
+		r := candidates[o.rng.Intn(len(candidates))]
+		delete(remaining, r)
+		joined[r] = true
+		tree = plan.NewJoin(tree, leaf(r))
+	}
+	return tree, nil
+}
+
+func union(a, b map[string]bool) map[string]bool {
+	u := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		u[k] = true
+	}
+	for k := range b {
+		u[k] = true
+	}
+	return u
+}

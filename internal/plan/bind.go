@@ -1,0 +1,110 @@
+package plan
+
+import (
+	"fmt"
+
+	"hybridship/internal/catalog"
+)
+
+// Binding maps plan nodes to the physical sites where they will execute.
+type Binding map[*Node]catalog.SiteID
+
+// Bind resolves the logical annotations of a plan to physical sites, given a
+// catalog (for primary-copy locations) and the site submitting the query
+// (§2.1: "At runtime, the logical annotations are bound to actual sites").
+//
+// The display and scan operators are resolved first; other operators resolve
+// by following their annotations. A plan whose annotations form a cycle —
+// e.g. a consumer whose child is annotated producer — cannot be resolved and
+// is rejected as ill-formed (§2.2.3).
+func Bind(root *Node, cat *catalog.Catalog, submitSite catalog.SiteID) (Binding, error) {
+	if err := CheckStructure(root); err != nil {
+		return nil, err
+	}
+	parent := make(map[*Node]*Node)
+	root.Walk(func(n *Node) {
+		if n.Left != nil {
+			parent[n.Left] = n
+		}
+		if n.Right != nil {
+			parent[n.Right] = n
+		}
+	})
+
+	b := make(Binding)
+	var unresolved []*Node
+
+	// Pass 1: anchors.
+	root.Walk(func(n *Node) {
+		switch n.Kind {
+		case KindDisplay:
+			b[n] = submitSite
+		case KindScan:
+			switch n.Ann {
+			case AnnClient:
+				b[n] = submitSite
+			case AnnPrimary:
+				rel, ok := cat.Relation(n.Table)
+				if !ok {
+					unresolved = append(unresolved, n) // reported below
+					return
+				}
+				b[n] = rel.Home
+			default:
+				unresolved = append(unresolved, n)
+			}
+		default:
+			unresolved = append(unresolved, n)
+		}
+	})
+	for _, n := range unresolved {
+		if n.Kind == KindScan {
+			if _, ok := cat.Relation(n.Table); !ok {
+				return nil, fmt.Errorf("plan: scan of unknown relation %q", n.Table)
+			}
+			return nil, fmt.Errorf("plan: scan of %q has invalid annotation %v", n.Table, n.Ann)
+		}
+	}
+
+	// Pass 2: propagate to fixpoint.
+	refSite := func(n *Node) (*Node, error) {
+		switch {
+		case n.Kind == KindJoin && n.Ann == AnnInner:
+			return n.Left, nil
+		case n.Kind == KindJoin && n.Ann == AnnOuter:
+			return n.Right, nil
+		case (n.Kind == KindSelect || n.Kind == KindAgg) && n.Ann == AnnProducer:
+			return n.Left, nil
+		case (n.Kind == KindJoin || n.Kind == KindSelect || n.Kind == KindAgg) && n.Ann == AnnConsumer:
+			return parent[n], nil
+		}
+		return nil, fmt.Errorf("plan: %v has invalid annotation %v", n.Kind, n.Ann)
+	}
+	for len(unresolved) > 0 {
+		progress := false
+		var still []*Node
+		for _, n := range unresolved {
+			ref, err := refSite(n)
+			if err != nil {
+				return nil, err
+			}
+			if site, ok := b[ref]; ok {
+				b[n] = site
+				progress = true
+			} else {
+				still = append(still, n)
+			}
+		}
+		unresolved = still
+		if !progress && len(unresolved) > 0 {
+			return nil, fmt.Errorf("plan: ill-formed: %d operator(s) form an annotation cycle", len(unresolved))
+		}
+	}
+	return b, nil
+}
+
+// WellFormed reports whether the plan's annotations can be bound to sites.
+func WellFormed(root *Node, cat *catalog.Catalog, submitSite catalog.SiteID) bool {
+	_, err := Bind(root, cat, submitSite)
+	return err == nil
+}

@@ -1,0 +1,117 @@
+package plan
+
+// Pre-compiled plans (§5 of the paper) only make sense if plans outlive the
+// optimizer invocation that produced them, so plans serialize to a compact
+// JSON form. Deserialization validates structure and annotation legality, so
+// a stored plan can be trusted as much as a freshly optimized one.
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// nodeJSON is the wire form of a plan node.
+type nodeJSON struct {
+	Kind  string    `json:"kind"`
+	Ann   string    `json:"ann"`
+	Table string    `json:"table,omitempty"`
+	Rel   string    `json:"rel,omitempty"`
+	Left  *nodeJSON `json:"left,omitempty"`
+	Right *nodeJSON `json:"right,omitempty"`
+}
+
+var kindNames = map[Kind]string{
+	KindDisplay: "display",
+	KindJoin:    "join",
+	KindSelect:  "select",
+	KindScan:    "scan",
+	KindAgg:     "aggregate",
+}
+
+var annNames = map[Annotation]string{
+	AnnClient:   "client",
+	AnnConsumer: "consumer",
+	AnnProducer: "producer",
+	AnnInner:    "inner",
+	AnnOuter:    "outer",
+	AnnPrimary:  "primary",
+}
+
+func invert[K comparable, V comparable](m map[K]V) map[V]K {
+	out := make(map[V]K, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+var (
+	kindByName = invert(kindNames)
+	annByName  = invert(annNames)
+)
+
+func toJSON(n *Node) *nodeJSON {
+	if n == nil {
+		return nil
+	}
+	return &nodeJSON{
+		Kind:  kindNames[n.Kind],
+		Ann:   annNames[n.Ann],
+		Table: n.Table,
+		Rel:   n.Rel,
+		Left:  toJSON(n.Left),
+		Right: toJSON(n.Right),
+	}
+}
+
+func fromJSON(j *nodeJSON) (*Node, error) {
+	if j == nil {
+		return nil, nil
+	}
+	kind, ok := kindByName[j.Kind]
+	if !ok {
+		return nil, fmt.Errorf("plan: unknown operator kind %q", j.Kind)
+	}
+	ann, ok := annByName[j.Ann]
+	if !ok {
+		return nil, fmt.Errorf("plan: unknown annotation %q", j.Ann)
+	}
+	left, err := fromJSON(j.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := fromJSON(j.Right)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{Kind: kind, Ann: ann, Table: j.Table, Rel: j.Rel, Left: left, Right: right}, nil
+}
+
+// Marshal encodes a plan as JSON. The plan must be structurally valid.
+func Marshal(root *Node) ([]byte, error) {
+	if err := CheckStructure(root); err != nil {
+		return nil, err
+	}
+	return json.Marshal(toJSON(root))
+}
+
+// Unmarshal decodes a plan from JSON and validates its structure and that
+// every annotation is legal for its operator under hybrid-shipping (the
+// union of all policies).
+func Unmarshal(data []byte) (*Node, error) {
+	var j nodeJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("plan: %w", err)
+	}
+	root, err := fromJSON(&j)
+	if err != nil {
+		return nil, err
+	}
+	if err := CheckStructure(root); err != nil {
+		return nil, err
+	}
+	if err := ValidateFor(root, HybridShipping); err != nil {
+		return nil, err
+	}
+	return root, nil
+}

@@ -1,0 +1,91 @@
+package plan
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	p := twoJoin()
+	p.Left.Ann = AnnOuter
+	p.Left.Left.Right.Ann = AnnClient
+	data, err := Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != p.String() {
+		t.Errorf("round trip changed the plan:\nbefore:\n%s\nafter:\n%s", p, back)
+	}
+}
+
+func TestMarshalWithSelects(t *testing.T) {
+	sel := NewSelect(NewScan("A"), "A")
+	sel.Ann = AnnConsumer
+	p := NewDisplay(NewJoin(sel, NewScan("B")))
+	data, err := Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != p.String() {
+		t.Errorf("select round trip mismatch:\n%s\nvs\n%s", p, back)
+	}
+}
+
+func TestMarshalRejectsInvalid(t *testing.T) {
+	if _, err := Marshal(NewScan("A")); err == nil {
+		t.Error("plan without display root marshalled")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{"kind":"warp","ann":"client"}`,
+		`{"kind":"display","ann":"teleport","left":{"kind":"scan","ann":"primary","table":"A"}}`,
+		`{"kind":"display","ann":"client"}`, // display without child
+		// Join annotated like a scan.
+		`{"kind":"display","ann":"client","left":{"kind":"join","ann":"primary",
+		  "left":{"kind":"scan","ann":"primary","table":"A"},
+		  "right":{"kind":"scan","ann":"primary","table":"B"}}}`,
+	}
+	for i, c := range cases {
+		if _, err := Unmarshal([]byte(strings.ReplaceAll(c, "\n", ""))); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+// Property: any valid random plan survives a round trip byte-identically on
+// re-marshal.
+func TestQuickMarshalStable(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomTree(rng, int(kRaw%4)+2)
+		data, err := Marshal(p)
+		if err != nil {
+			return false
+		}
+		back, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		data2, err := Marshal(back)
+		if err != nil {
+			return false
+		}
+		return string(data) == string(data2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,105 @@
+// Package query defines the logical select-project-join queries of the study:
+// a set of base relations, equijoin predicates with selectivities, and the
+// projection applied to results. The benchmark workloads (§3.3) are chain
+// joins; this package is agnostic to the join-graph shape.
+package query
+
+import "fmt"
+
+// Pred is an equijoin predicate between two base relations. Selectivity is
+// the classical join selectivity factor: |A ⋈ B| = |A|·|B|·Selectivity.
+type Pred struct {
+	A, B        string
+	Selectivity float64
+}
+
+// Query is a select-project-join query over base relations.
+type Query struct {
+	Relations []string
+	Preds     []Pred
+	// ResultTupleBytes is the tuple width of every intermediate and final
+	// result after projection. The paper projects all results to 100 bytes.
+	ResultTupleBytes int
+	// Selects maps a relation name to the selectivity of a selection applied
+	// directly above its scan (1.0 or absent means no selection).
+	Selects map[string]float64
+	// GroupBy, when positive, adds a grouped aggregation at the top of the
+	// query: the join result is reduced to GroupBy output groups before
+	// being displayed. Aggregations are annotated like selections (paper
+	// footnote 4) and may run at the client or at a producer site.
+	GroupBy int
+}
+
+// Validate checks that predicates reference declared relations and that
+// selectivities are sane.
+func (q *Query) Validate() error {
+	rels := make(map[string]bool, len(q.Relations))
+	for _, r := range q.Relations {
+		if rels[r] {
+			return fmt.Errorf("query: duplicate relation %q", r)
+		}
+		rels[r] = true
+	}
+	for _, p := range q.Preds {
+		if !rels[p.A] || !rels[p.B] {
+			return fmt.Errorf("query: predicate %s=%s references undeclared relation", p.A, p.B)
+		}
+		if p.A == p.B {
+			return fmt.Errorf("query: self-join predicate on %q not supported", p.A)
+		}
+		if p.Selectivity <= 0 || p.Selectivity > 1 {
+			return fmt.Errorf("query: predicate %s=%s has selectivity %g outside (0,1]", p.A, p.B, p.Selectivity)
+		}
+	}
+	for r, s := range q.Selects {
+		if !rels[r] {
+			return fmt.Errorf("query: selection on undeclared relation %q", r)
+		}
+		if s <= 0 || s > 1 {
+			return fmt.Errorf("query: selection on %q has selectivity %g outside (0,1]", r, s)
+		}
+	}
+	if q.ResultTupleBytes <= 0 {
+		return fmt.Errorf("query: result tuple bytes must be positive")
+	}
+	if q.GroupBy < 0 {
+		return fmt.Errorf("query: GroupBy must be non-negative")
+	}
+	return nil
+}
+
+// CrossingPreds returns the predicates connecting relation set a to set b.
+func (q *Query) CrossingPreds(a, b map[string]bool) []Pred {
+	var out []Pred
+	for _, p := range q.Preds {
+		if (a[p.A] && b[p.B]) || (a[p.B] && b[p.A]) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Connected reports whether joining relation sets a and b avoids a Cartesian
+// product, i.e. at least one predicate crosses the two sets.
+func (q *Query) Connected(a, b map[string]bool) bool {
+	return len(q.CrossingPreds(a, b)) > 0
+}
+
+// JoinSelectivity returns the combined selectivity of all predicates crossing
+// a and b (their product), or 1.0 for a Cartesian product.
+func (q *Query) JoinSelectivity(a, b map[string]bool) float64 {
+	sel := 1.0
+	for _, p := range q.CrossingPreds(a, b) {
+		sel *= p.Selectivity
+	}
+	return sel
+}
+
+// SelectSelectivity returns the selectivity of the selection on a relation,
+// defaulting to 1.0.
+func (q *Query) SelectSelectivity(rel string) float64 {
+	if s, ok := q.Selects[rel]; ok {
+		return s
+	}
+	return 1.0
+}

@@ -1,0 +1,108 @@
+package query
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func chain(n int, sel float64) *Query {
+	q := &Query{ResultTupleBytes: 100}
+	names := []string{"A", "B", "C", "D", "E", "F"}
+	for i := 0; i < n; i++ {
+		q.Relations = append(q.Relations, names[i])
+		if i > 0 {
+			q.Preds = append(q.Preds, Pred{A: names[i-1], B: names[i], Selectivity: sel})
+		}
+	}
+	return q
+}
+
+func TestValidate(t *testing.T) {
+	if err := chain(3, 1e-4).Validate(); err != nil {
+		t.Errorf("valid chain rejected: %v", err)
+	}
+	bad := []*Query{
+		{Relations: []string{"A", "A"}, ResultTupleBytes: 100},
+		{Relations: []string{"A"}, Preds: []Pred{{A: "A", B: "Z", Selectivity: 0.5}}, ResultTupleBytes: 100},
+		{Relations: []string{"A"}, Preds: []Pred{{A: "A", B: "A", Selectivity: 0.5}}, ResultTupleBytes: 100},
+		{Relations: []string{"A", "B"}, Preds: []Pred{{A: "A", B: "B", Selectivity: 0}}, ResultTupleBytes: 100},
+		{Relations: []string{"A", "B"}, Preds: []Pred{{A: "A", B: "B", Selectivity: 2}}, ResultTupleBytes: 100},
+		{Relations: []string{"A"}, Selects: map[string]float64{"Z": 0.5}, ResultTupleBytes: 100},
+		{Relations: []string{"A"}, Selects: map[string]float64{"A": 0}, ResultTupleBytes: 100},
+		{Relations: []string{"A"}, ResultTupleBytes: 0},
+	}
+	for i, q := range bad {
+		if err := q.Validate(); err == nil {
+			t.Errorf("bad query %d accepted", i)
+		}
+	}
+}
+
+func set(names ...string) map[string]bool {
+	m := make(map[string]bool)
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+func TestConnectivity(t *testing.T) {
+	q := chain(4, 1e-4) // A-B-C-D
+	if !q.Connected(set("A"), set("B")) {
+		t.Error("A-B should be connected")
+	}
+	if q.Connected(set("A"), set("C")) {
+		t.Error("A-C should not be connected (Cartesian product)")
+	}
+	if !q.Connected(set("A", "B"), set("C", "D")) {
+		t.Error("AB-CD should connect via B-C")
+	}
+	if !q.Connected(set("A", "C"), set("B")) {
+		t.Error("AC-B connects via both A-B and B-C")
+	}
+}
+
+func TestJoinSelectivityMultiplies(t *testing.T) {
+	q := chain(4, 0.5)
+	// AC vs B crosses two predicates: A-B and B-C.
+	got := q.JoinSelectivity(set("A", "C"), set("B"))
+	if got != 0.25 {
+		t.Errorf("selectivity = %g, want 0.25", got)
+	}
+	// Cartesian: no crossing predicates -> selectivity 1.
+	if got := q.JoinSelectivity(set("A"), set("C")); got != 1.0 {
+		t.Errorf("cartesian selectivity = %g, want 1", got)
+	}
+}
+
+func TestSelectSelectivityDefault(t *testing.T) {
+	q := chain(2, 1e-4)
+	if got := q.SelectSelectivity("A"); got != 1.0 {
+		t.Errorf("default selection selectivity = %g, want 1", got)
+	}
+	q.Selects = map[string]float64{"A": 0.1}
+	if got := q.SelectSelectivity("A"); got != 0.1 {
+		t.Errorf("selection selectivity = %g, want 0.1", got)
+	}
+}
+
+// Property: CrossingPreds is symmetric in its arguments.
+func TestQuickCrossingSymmetric(t *testing.T) {
+	q := chain(6, 1e-4)
+	names := []string{"A", "B", "C", "D", "E", "F"}
+	f := func(maskA, maskB uint8) bool {
+		a, b := make(map[string]bool), make(map[string]bool)
+		for i, n := range names {
+			if maskA&(1<<i) != 0 {
+				a[n] = true
+			} else if maskB&(1<<i) != 0 {
+				b[n] = true
+			}
+		}
+		return len(q.CrossingPreds(a, b)) == len(q.CrossingPreds(b, a)) &&
+			q.Connected(a, b) == q.Connected(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,77 @@
+package sim
+
+// Resource is a FIFO-queued resource with a fixed number of identical
+// servers. The paper models CPUs and the network link this way ("The CPU is
+// modeled as a FIFO queue", "The network is modeled simply as a FIFO queue
+// with a specified bandwidth").
+type Resource struct {
+	sim     *Simulator
+	name    string
+	servers int
+	inUse   int
+	waiters []*Proc
+
+	// accounting
+	busy     Time // total busy server-seconds
+	lastTick Time
+	requests int64
+}
+
+// NewResource creates a resource with the given number of servers.
+func NewResource(s *Simulator, name string, servers int) *Resource {
+	if servers < 1 {
+		panic("sim: resource needs at least one server")
+	}
+	return &Resource{sim: s, name: name, servers: servers}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Acquire obtains one server of the resource, blocking in FIFO order until
+// one is free.
+func (r *Resource) Acquire(p *Proc) {
+	r.requests++
+	if r.inUse < r.servers && len(r.waiters) == 0 {
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.Block()
+}
+
+// Release frees one server, waking the longest-waiting process, if any.
+func (r *Resource) Release(p *Proc) {
+	if r.inUse <= 0 {
+		panic("sim: release of idle resource " + r.name)
+	}
+	if len(r.waiters) > 0 {
+		next := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		next.Unblock()
+		// The server passes directly to the waiter; inUse is unchanged.
+		return
+	}
+	r.inUse--
+}
+
+// Use acquires the resource, holds it busy for dt, and releases it. This is
+// the common pattern for charging CPU time or network wire time.
+func (r *Resource) Use(p *Proc, dt Time) {
+	r.Acquire(p)
+	r.busy += dt
+	p.Hold(dt)
+	r.Release(p)
+}
+
+// BusyTime reports the cumulative busy server-seconds consumed so far.
+func (r *Resource) BusyTime() Time { return r.busy }
+
+// Requests reports how many acquisitions have been requested so far.
+func (r *Resource) Requests() int64 { return r.requests }
+
+// QueueLen reports the number of processes currently waiting.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// InUse reports the number of busy servers.
+func (r *Resource) InUse() int { return r.inUse }

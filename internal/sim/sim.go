@@ -1,0 +1,213 @@
+// Package sim provides a deterministic, process-oriented discrete-event
+// simulation kernel in the style of CSIM, the toolkit used by the paper's
+// original C++ simulator.
+//
+// A simulation consists of processes (goroutines) that advance a shared
+// virtual clock by holding for intervals of simulated time and by waiting on
+// resources and buffers. The kernel runs exactly one process at a time:
+// a process executes until it parks (holds, blocks, or finishes), then the
+// kernel resumes the process with the earliest pending event. Events with
+// equal timestamps fire in schedule order, so a run is fully deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulated time in seconds since the start of the run.
+type Time = float64
+
+// Simulator owns the virtual clock and the event queue. Create one with New,
+// spawn the initial processes, then call Run.
+type Simulator struct {
+	now    Time
+	seq    int64
+	events eventHeap
+
+	parked  chan struct{} // signalled by a process when it parks or exits
+	running int           // live (spawned, not finished) non-daemon processes
+	daemons []*Proc       // live daemon processes (terminated when Run drains)
+	failure any           // panic value captured from a process goroutine
+
+	// Trace, when non-nil, receives a line per kernel dispatch. Intended for
+	// debugging tests only.
+	Trace func(t Time, proc string)
+}
+
+// New returns an empty simulator at time zero.
+func New() *Simulator {
+	return &Simulator{parked: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+type event struct {
+	at   Time
+	seq  int64
+	proc *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (s *Simulator) schedule(p *Proc, at Time) {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: %g < %g", at, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: at, seq: s.seq, proc: p})
+}
+
+// Proc is a simulated process. All Proc methods must be called from the
+// goroutine running the process body.
+type Proc struct {
+	sim       *Simulator
+	name      string
+	wake      chan struct{}
+	done      bool
+	daemon    bool
+	terminate bool
+}
+
+// terminated is the sentinel panic used to unwind daemon processes when the
+// simulation ends.
+type terminated struct{}
+
+// Name returns the process name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the simulator the process belongs to.
+func (p *Proc) Sim() *Simulator { return p.sim }
+
+// Spawn creates a process that will begin running at the current virtual
+// time. The body runs in its own goroutine but only while the kernel has
+// handed it control.
+func (s *Simulator) Spawn(name string, body func(p *Proc)) *Proc {
+	return s.spawn(name, body, false)
+}
+
+// SpawnDaemon creates a service process (e.g. a disk arm or a background load
+// generator) that runs for the lifetime of the simulation. Daemons do not
+// keep Run alive and do not count as deadlocked; when the event queue drains,
+// Run terminates them by unwinding their goroutines.
+func (s *Simulator) SpawnDaemon(name string, body func(p *Proc)) *Proc {
+	return s.spawn(name, body, true)
+}
+
+func (s *Simulator) spawn(name string, body func(p *Proc), daemon bool) *Proc {
+	p := &Proc{sim: s, name: name, wake: make(chan struct{}), daemon: daemon}
+	if daemon {
+		s.daemons = append(s.daemons, p)
+	} else {
+		s.running++
+	}
+	s.schedule(p, s.now)
+	go func() {
+		<-p.wake // wait for first dispatch
+		if p.terminate {
+			// Simulation ended before this process ever ran.
+			p.done = true
+			s.parked <- struct{}{}
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(terminated); !ok {
+					// Hand the panic to the kernel goroutine, which re-panics
+					// from Run so callers (and tests) can recover it.
+					s.failure = fmt.Sprintf("sim: process %q panicked: %v", name, r)
+				}
+			}
+			p.done = true
+			if !p.daemon {
+				s.running--
+			}
+			s.parked <- struct{}{}
+		}()
+		body(p)
+	}()
+	return p
+}
+
+// Run executes events until none remain, or until every non-daemon process
+// has finished (daemons such as disk servers and load generators would
+// otherwise keep the simulation alive forever). It returns the final virtual
+// time.
+func (s *Simulator) Run() Time {
+	for len(s.events) > 0 && s.running > 0 {
+		e := heap.Pop(&s.events).(event)
+		if e.proc.done {
+			continue
+		}
+		if e.at < s.now {
+			panic("sim: time went backwards")
+		}
+		s.now = e.at
+		if s.Trace != nil {
+			s.Trace(s.now, e.proc.name)
+		}
+		e.proc.wake <- struct{}{}
+		<-s.parked
+		if s.failure != nil {
+			panic(s.failure)
+		}
+	}
+	if s.running > 0 {
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) blocked with no pending events", s.running))
+	}
+	// Unwind surviving daemon goroutines so repeated simulations do not leak.
+	for _, d := range s.daemons {
+		if d.done {
+			continue
+		}
+		d.terminate = true
+		d.wake <- struct{}{}
+		<-s.parked
+	}
+	s.daemons = nil
+	return s.now
+}
+
+// park releases control to the kernel and blocks until resumed.
+func (p *Proc) park() {
+	p.sim.parked <- struct{}{}
+	<-p.wake
+	if p.terminate {
+		panic(terminated{})
+	}
+}
+
+// Hold advances this process's local time by dt seconds of virtual time.
+// A non-positive dt yields control without advancing the clock.
+func (p *Proc) Hold(dt Time) {
+	if dt < 0 || math.IsNaN(dt) {
+		panic(fmt.Sprintf("sim: Hold(%g) in %q", dt, p.name))
+	}
+	p.sim.schedule(p, p.sim.now+dt)
+	p.park()
+}
+
+// Yield reschedules the process at the current time, letting other processes
+// scheduled for the same instant run first.
+func (p *Proc) Yield() { p.Hold(0) }
+
+// Block parks the process without scheduling a wake event; some other process
+// must call Unblock to make it runnable again. Callers are expected to
+// re-check their wait condition in a loop, as with sync.Cond.
+func (p *Proc) Block() { p.park() }
+
+// Unblock schedules a blocked process to resume at the current virtual time.
+// It must be called from the goroutine of the currently-running process.
+func (p *Proc) Unblock() { p.sim.schedule(p, p.sim.now) }

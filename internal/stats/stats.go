@@ -1,0 +1,105 @@
+// Package stats provides the small statistical toolkit of the study: means
+// and 90% confidence intervals over repeated randomized runs (§3.1.1: "all
+// of the experiments ... were executed repeatedly and confidence intervals
+// for every data point were computed").
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// tCrit90 holds two-sided 90% critical values of Student's t distribution
+// for small degrees of freedom; larger dfs fall back to the normal value.
+var tCrit90 = []float64{
+	0,     // df=0 unused
+	6.314, // 1
+	2.920, // 2
+	2.353, // 3
+	2.132, // 4
+	2.015, // 5
+	1.943, // 6
+	1.895, // 7
+	1.860, // 8
+	1.833, // 9
+	1.812, // 10
+	1.796, // 11
+	1.782, // 12
+	1.771, // 13
+	1.761, // 14
+	1.753, // 15
+	1.746, // 16
+	1.740, // 17
+	1.734, // 18
+	1.729, // 19
+	1.725, // 20
+	1.721, // 21
+	1.717, // 22
+	1.714, // 23
+	1.711, // 24
+	1.708, // 25
+	1.706, // 26
+	1.703, // 27
+	1.701, // 28
+	1.699, // 29
+	1.697, // 30
+}
+
+// CI90 returns the half-width of the two-sided 90% confidence interval for
+// the mean of xs.
+func CI90(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	df := n - 1
+	t := 1.645 // normal approximation
+	if df < len(tCrit90) {
+		t = tCrit90[df]
+	}
+	return t * StdDev(xs) / math.Sqrt(float64(n))
+}
+
+// Sample is a named series of repeated measurements.
+type Sample struct {
+	values []float64
+}
+
+// Add appends one measurement.
+func (s *Sample) Add(v float64) { s.values = append(s.values, v) }
+
+// N returns the number of measurements.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the sample mean.
+func (s *Sample) Mean() float64 { return Mean(s.values) }
+
+// CI90 returns the 90% confidence half-width.
+func (s *Sample) CI90() float64 { return CI90(s.values) }
+
+// Values returns a copy of the raw measurements.
+func (s *Sample) Values() []float64 { return append([]float64(nil), s.values...) }

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanAndStdDev(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Errorf("mean = %g, want 2.5", Mean([]float64{1, 2, 3, 4}))
+	}
+	if Mean(nil) != 0 {
+		t.Error("mean of empty slice should be 0")
+	}
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !almost(got, math.Sqrt(32.0/7)) {
+		t.Errorf("stddev = %g, want %g", got, math.Sqrt(32.0/7))
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Error("stddev of one sample should be 0")
+	}
+}
+
+func TestCI90KnownValue(t *testing.T) {
+	// Five samples with stddev 1: CI half-width = t(4, 0.90) / sqrt(5).
+	xs := []float64{-1, -0.5, 0, 0.5, 1}
+	sd := StdDev(xs)
+	want := 2.132 * sd / math.Sqrt(5)
+	if got := CI90(xs); !almost(got, want) {
+		t.Errorf("CI90 = %g, want %g", got, want)
+	}
+	if CI90([]float64{1}) != 0 {
+		t.Error("CI90 of one sample should be 0")
+	}
+}
+
+func TestCI90Coverage(t *testing.T) {
+	// Empirical check: the 90% CI of the mean of n=10 standard normals
+	// should contain 0 roughly 90% of the time.
+	rng := rand.New(rand.NewSource(12345))
+	trials, contained := 4000, 0
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 10)
+		for j := range xs {
+			xs[j] = rng.NormFloat64()
+		}
+		m, ci := Mean(xs), CI90(xs)
+		if m-ci <= 0 && 0 <= m+ci {
+			contained++
+		}
+	}
+	rate := float64(contained) / float64(trials)
+	if rate < 0.87 || rate > 0.93 {
+		t.Errorf("90%% CI covered the true mean %.1f%% of the time", rate*100)
+	}
+}
+
+func TestSample(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{1, 2, 3} {
+		s.Add(v)
+	}
+	if s.N() != 3 || !almost(s.Mean(), 2) {
+		t.Errorf("sample N=%d mean=%g", s.N(), s.Mean())
+	}
+	vals := s.Values()
+	vals[0] = 99
+	if s.Mean() != 2 {
+		t.Error("Values() should return a copy")
+	}
+}
+
+// Property: the CI half-width shrinks (weakly) as more identical batches of
+// data arrive, and the mean stays within [min, max].
+func TestQuickStatsSanity(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, v := range raw {
+			xs[i] = float64(v)
+			lo, hi = math.Min(lo, xs[i]), math.Max(hi, xs[i])
+		}
+		m := Mean(xs)
+		if m < lo-1e-9 || m > hi+1e-9 {
+			return false
+		}
+		return CI90(xs) >= 0 && StdDev(xs) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,206 @@
+// Package workload generates the benchmark of the study (§3.3): chain joins
+// over relations of 10,000 tuples of 100 bytes, with moderate selectivity
+// ("functional" joins whose result is the size and cardinality of one base
+// relation) or the HiSel variant of §5.2 in which only 20% of the tuples of
+// every input relation participate in the output of a join.
+//
+// The synthetic data makes those selectivities exact rather than expected:
+// with moderate joins, next(id) = id, so R_i ⋈ R_{i+1} matches 1:1; with
+// HiSel, next(id) = 5·id, so a tuple matches iff 5·id < |R|, i.e. exactly
+// the first 20% at every level of the chain (10000 → 2000 → 400 → ...).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hybridship/internal/catalog"
+	"hybridship/internal/query"
+)
+
+// Selectivity selects the benchmark's join selectivity regime.
+type Selectivity int
+
+const (
+	// Moderate: functional joins; |A ⋈ B| = |A| = |B|.
+	Moderate Selectivity = iota
+	// HiSel: 20% of each input's tuples participate in a join's output.
+	HiSel
+)
+
+func (s Selectivity) String() string {
+	if s == HiSel {
+		return "HiSel"
+	}
+	return "Moderate"
+}
+
+// Default benchmark constants (§3.3).
+const (
+	DefaultTuples     = 10000
+	DefaultTupleBytes = 100
+)
+
+// RelName returns the canonical name of the i-th chain relation.
+func RelName(i int) string { return fmt.Sprintf("R%d", i) }
+
+// ChainQuery builds an n-way chain join query: R0 - R1 - ... - R(n-1), each
+// relation joined with its neighbours.
+func ChainQuery(n int, sel Selectivity) *query.Query {
+	if n < 2 {
+		panic("workload: chain query needs at least 2 relations")
+	}
+	q := &query.Query{ResultTupleBytes: DefaultTupleBytes}
+	for i := 0; i < n; i++ {
+		q.Relations = append(q.Relations, RelName(i))
+	}
+	s := 1.0 / float64(DefaultTuples) // moderate: |A||B|/|A ⋈ B| = |R|
+	if sel == HiSel {
+		s = 0.2 / float64(DefaultTuples)
+	}
+	for i := 1; i < n; i++ {
+		q.Preds = append(q.Preds, query.Pred{A: RelName(i - 1), B: RelName(i), Selectivity: s})
+	}
+	return q
+}
+
+// Next returns the join-attribute generator matching the selectivity regime:
+// the predicate R_{i}.next = R_{i+1}.id matches when Next(R_i, id) equals a
+// row id of the next relation.
+func Next(sel Selectivity) func(rel string, id int64) int64 {
+	if sel == HiSel {
+		return func(_ string, id int64) int64 { return 5 * id }
+	}
+	return func(_ string, id int64) int64 { return id }
+}
+
+// ExpectedResult returns the exact result cardinality of an n-way chain join
+// under the regime. A HiSel chain keeps exactly the tuples whose id chain
+// id, 5·id, 25·id, ... stays below the relation cardinality, i.e.
+// #{id : 5^(n-1)·id < 10000}.
+func ExpectedResult(n int, sel Selectivity) int64 {
+	if sel == Moderate {
+		return DefaultTuples
+	}
+	p := int64(1)
+	for i := 1; i < n; i++ {
+		p *= 5
+		if p >= DefaultTuples {
+			return 1 // only id 0 survives
+		}
+	}
+	return (DefaultTuples-1)/p + 1
+}
+
+// BuildCatalog creates a catalog with the chain's n relations homed per the
+// placement slice (placement[i] is the server of R_i).
+func BuildCatalog(pageSize, numServers int, placement []catalog.SiteID) (*catalog.Catalog, error) {
+	cat := catalog.New(pageSize, numServers)
+	for i, home := range placement {
+		err := cat.AddRelation(catalog.Relation{
+			Name:       RelName(i),
+			Tuples:     DefaultTuples,
+			TupleBytes: DefaultTupleBytes,
+			Home:       home,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cat, nil
+}
+
+// PlaceRoundRobin homes n relations on servers 0, 1, ..., wrapping around.
+func PlaceRoundRobin(n, numServers int) []catalog.SiteID {
+	out := make([]catalog.SiteID, n)
+	for i := range out {
+		out[i] = catalog.SiteID(i % numServers)
+	}
+	return out
+}
+
+// PlaceRandom homes n relations uniformly at random while ensuring every
+// server holds at least one relation (§4.3: "placed randomly among the
+// servers (ensuring that each server has at least one base relation)").
+func PlaceRandom(rng *rand.Rand, n, numServers int) []catalog.SiteID {
+	if numServers > n {
+		panic("workload: more servers than relations cannot all be non-empty")
+	}
+	out := make([]catalog.SiteID, n)
+	// A random subset of relations covers the servers; the rest are uniform.
+	perm := rng.Perm(n)
+	for s := 0; s < numServers; s++ {
+		out[perm[s]] = catalog.SiteID(s)
+	}
+	for i := numServers; i < n; i++ {
+		out[perm[i]] = catalog.SiteID(rng.Intn(numServers))
+	}
+	return out
+}
+
+// CacheFirstK marks the first k of the n chain relations as fully cached at
+// the client (Figure 7 caches 5 of the 10 relations).
+func CacheFirstK(cat *catalog.Catalog, k int) error {
+	for i := 0; i < k; i++ {
+		if err := cat.SetCachedFraction(RelName(i), 1.0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CacheAllFraction caches the same fraction of every chain relation
+// (Figures 2-5 vary this from 0 to 100%).
+func CacheAllFraction(cat *catalog.Catalog, frac float64) error {
+	for _, name := range cat.Relations() {
+		if err := cat.SetCachedFraction(name, frac); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TwoWayScaled returns a 2-way join query whose result cardinality is
+// rho*|R| for rho in (0, 1]: only the first rho*|R| tuples of the outer find
+// a partner. The paper (§4.2.1) notes the DS/QS communication crossover
+// moves right as the join result shrinks; this workload exercises that.
+func TwoWayScaled(rho float64) (*query.Query, func(rel string, id int64) int64) {
+	if rho <= 0 || rho > 1 {
+		panic("workload: rho must be in (0,1]")
+	}
+	q := &query.Query{
+		Relations:        []string{RelName(0), RelName(1)},
+		ResultTupleBytes: DefaultTupleBytes,
+		Preds: []query.Pred{{
+			A: RelName(0), B: RelName(1), Selectivity: rho / float64(DefaultTuples),
+		}},
+	}
+	cut := int64(rho * float64(DefaultTuples))
+	next := func(_ string, id int64) int64 {
+		if id < cut {
+			return id
+		}
+		return DefaultTuples + id // no partner
+	}
+	return q, next
+}
+
+// StarQuery builds an n-way star join: a hub R0 joined with n-1 spokes,
+// each on a distinct attribute, all functional (result = |hub|). A star is
+// the opposite of a chain for the optimizer: every join must involve the
+// hub's growing intermediate result.
+func StarQuery(n int) *query.Query {
+	if n < 2 {
+		panic("workload: star query needs at least 2 relations")
+	}
+	q := &query.Query{ResultTupleBytes: DefaultTupleBytes}
+	for i := 0; i < n; i++ {
+		q.Relations = append(q.Relations, RelName(i))
+	}
+	for i := 1; i < n; i++ {
+		q.Preds = append(q.Preds, query.Pred{
+			A: RelName(0), B: RelName(i), Selectivity: 1.0 / float64(DefaultTuples),
+		})
+	}
+	return q
+}
