@@ -1,0 +1,109 @@
+// Command benchsnap turns `go test -bench -benchmem` output on stdin into a
+// machine-readable JSON snapshot, annotated with the Go version and CPU
+// budget of the machine that produced it. scripts/bench_opt.sh pipes the
+// optimizer benchmark suite through it to produce BENCH_opt.json, the
+// committed performance record this repo tracks across changes.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// No omitempty: an explicit zero is the point for allocation-free
+	// benchmarks.
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Extra holds custom metrics reported via b.ReportMetric, keyed by
+	// their unit (e.g. "pages/op").
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Snapshot is the full JSON document.
+type Snapshot struct {
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	Results    []Result `json:"results"`
+}
+
+// benchLine matches "BenchmarkName-8  123  456 ns/op ..." with the metric
+// pairs left for pair parsing below. The -N suffix go test appends is kept
+// out of the name so snapshots diff cleanly across machines.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func parseLine(line string) (Result, bool) {
+	m := benchLine.FindStringSubmatch(line)
+	if m == nil {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(m[2], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: m[1], Iterations: iters}
+	fields := strings.Fields(m[3])
+	for i := 0; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = val
+		case "B/op":
+			r.BytesPerOp = int64(val)
+		case "allocs/op":
+			r.AllocsPerOp = int64(val)
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[unit] = val
+		}
+	}
+	return r, true
+}
+
+func main() {
+	snap := Snapshot{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		// Echo the raw stream so the caller still sees progress.
+		fmt.Fprintln(os.Stderr, line)
+		if r, ok := parseLine(line); ok {
+			snap.Results = append(snap.Results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap: read:", err)
+		os.Exit(1)
+	}
+	if len(snap.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchsnap: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap: encode:", err)
+		os.Exit(1)
+	}
+}

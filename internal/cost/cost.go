@@ -168,6 +168,7 @@ type nodeInfo struct {
 	pages      float64 // output size in pages
 	rt         float64 // completion time of this node's output
 	site       catalog.SiteID
+	tables     uint64 // base-relation bitmask (when Query.MaskSupported)
 }
 
 // accum aggregates resource consumption for the total-cost metric and the
@@ -225,10 +226,28 @@ func (a *accum) bottleneck(disksPerSite int) float64 {
 // Estimate predicts the execution of a plan whose annotations have been
 // bound to sites.
 func (m *Model) Estimate(root *plan.Node, binding plan.Binding) Estimate {
-	acc := newAccum()
-	info := m.eval(root, binding, acc)
-	rt := math.Max(info.rt, acc.bottleneck(m.Params.NumDisks))
-	return Estimate{TotalCost: acc.total(), ResponseTime: rt, PagesSent: acc.pages}
+	var e Estimator
+	return e.Estimate(m, root, binding)
+}
+
+// Estimator evaluates plans repeatedly while reusing its accumulator maps,
+// so a search loop does not allocate a fresh accumulator per candidate.
+type Estimator struct {
+	acc *accum
+}
+
+// Estimate is the reusable-buffer form of Model.Estimate.
+func (e *Estimator) Estimate(m *Model, root *plan.Node, binding plan.Binding) Estimate {
+	if e.acc == nil {
+		e.acc = newAccum()
+	} else {
+		clear(e.acc.cpu)
+		clear(e.acc.disk)
+		e.acc.wire, e.acc.pages = 0, 0
+	}
+	info := m.eval(root, binding, e.acc)
+	rt := math.Max(info.rt, e.acc.bottleneck(m.Params.NumDisks))
+	return Estimate{TotalCost: e.acc.total(), ResponseTime: rt, PagesSent: e.acc.pages}
 }
 
 func pagesOf(card float64, tupleBytes, pageSize int) float64 {
@@ -282,6 +301,7 @@ func (m *Model) eval(n *plan.Node, b plan.Binding, acc *accum) nodeInfo {
 			pages:      pagesOf(out, child.tupleBytes, p.PageSize),
 			rt:         math.Max(child.rt, math.Max(shipDur, cpu)),
 			site:       site,
+			tables:     child.tables,
 		}
 
 	case plan.KindJoin:
@@ -307,6 +327,7 @@ func (m *Model) eval(n *plan.Node, b plan.Binding, acc *accum) nodeInfo {
 			pages:      pagesOf(out, child.tupleBytes, p.PageSize),
 			rt:         math.Max(child.rt, shipDur) + cpu,
 			site:       site,
+			tables:     child.tables,
 		}
 
 	case plan.KindDisplay:
@@ -320,6 +341,7 @@ func (m *Model) eval(n *plan.Node, b plan.Binding, acc *accum) nodeInfo {
 			pages:      child.pages,
 			rt:         math.Max(child.rt, math.Max(shipDur, cpu)),
 			site:       site,
+			tables:     child.tables,
 		}
 	}
 	panic("cost: unknown node kind")
@@ -330,7 +352,8 @@ func (m *Model) evalScan(n *plan.Node, site catalog.SiteID, acc *accum) nodeInfo
 	rel := m.Catalog.MustRelation(n.Table)
 	pages := float64(rel.Pages(p.PageSize))
 	card := float64(rel.Tuples)
-	info := nodeInfo{card: card, tupleBytes: rel.TupleBytes, pages: pages, site: site}
+	info := nodeInfo{card: card, tupleBytes: rel.TupleBytes, pages: pages, site: site,
+		tables: m.Query.RelMask(n.Table)}
 
 	if site == rel.Home || pages == 0 {
 		// Scan at the primary copy: sequential I/O at the home server.
@@ -384,7 +407,14 @@ func (m *Model) evalJoin(n *plan.Node, b plan.Binding, acc *accum) nodeInfo {
 	innerShip := m.ship(acc, inner.site, site, inner.pages, true)
 	outerShip := m.ship(acc, outer.site, site, outer.pages, true)
 
-	sel := m.Query.JoinSelectivity(n.Left.BaseTables(), n.Right.BaseTables())
+	// The mask fast path avoids building two base-table map sets per join
+	// per candidate evaluation — the optimizer's dominant allocation.
+	var sel float64
+	if m.Query.MaskSupported() {
+		sel = m.Query.JoinSelectivityMask(inner.tables, outer.tables)
+	} else {
+		sel = m.Query.JoinSelectivity(n.Left.BaseTables(), n.Right.BaseTables())
+	}
 	outCard := inner.card * outer.card * sel
 	outBytes := m.Query.ResultTupleBytes
 	outPages := pagesOf(outCard, outBytes, p.PageSize)
@@ -442,5 +472,6 @@ func (m *Model) evalJoin(n *plan.Node, b plan.Binding, acc *accum) nodeInfo {
 	}
 	rt := buildDur + probeDur + readBack
 
-	return nodeInfo{card: outCard, tupleBytes: outBytes, pages: outPages, rt: rt, site: site}
+	return nodeInfo{card: outCard, tupleBytes: outBytes, pages: outPages, rt: rt, site: site,
+		tables: inner.tables | outer.tables}
 }

@@ -31,32 +31,46 @@ func (c Config) ExtCrossover() (*Figure, error) {
 		XLabel: "cached[%]",
 		YLabel: "pages-sent",
 	}
-	for _, rho := range []float64{0.2, 0.5, 1.0} {
-		q, next := workload.TwoWayScaled(rho)
-		for _, pol := range []plan.Policy{plan.DataShipping, plan.QueryShipping} {
+	rhos := []float64{0.2, 0.5, 1.0}
+	pols := []plan.Policy{plan.DataShipping, plan.QueryShipping}
+	sweep := c.cachingSweep()
+	reps := c.reps()
+	vals := make([]float64, len(rhos)*len(pols)*len(sweep)*reps)
+	err := parallelFor(len(vals), func(idx int) error {
+		rp, xi, rep := grid3(idx, len(sweep), reps)
+		ri, pi := rp/len(pols), rp%len(pols)
+		q, next := workload.TwoWayScaled(rhos[ri])
+		cat, err := workload.BuildCatalog(4096, 1, workload.PlaceRoundRobin(2, 1))
+		if err != nil {
+			return err
+		}
+		if err := workload.CacheAllFraction(cat, sweep[xi]); err != nil {
+			return err
+		}
+		r := run{
+			cat: cat, q: q,
+			policy: pols[pi], metric: cost.MetricPagesSent, maxAlloc: true,
+			next:    next,
+			optSeed: seedFor(c.Seed, int64(pols[pi]), int64(xi), int64(rep), 20),
+			simSeed: seedFor(c.Seed, int64(xi), int64(rep), 21),
+		}
+		res, err := r.measure()
+		if err != nil {
+			return err
+		}
+		vals[idx] = float64(res.PagesSent)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ri, rho := range rhos {
+		for pi, pol := range pols {
 			series := Series{Name: fmt.Sprintf("%s rho=%.1f", policyNames[pol], rho)}
-			for xi, frac := range c.cachingSweep() {
+			for xi, frac := range sweep {
 				var sample stats.Sample
-				for rep := 0; rep < c.reps(); rep++ {
-					cat, err := workload.BuildCatalog(4096, 1, workload.PlaceRoundRobin(2, 1))
-					if err != nil {
-						return nil, err
-					}
-					if err := workload.CacheAllFraction(cat, frac); err != nil {
-						return nil, err
-					}
-					r := run{
-						cat: cat, q: q,
-						policy: pol, metric: cost.MetricPagesSent, maxAlloc: true,
-						next:    next,
-						optSeed: seedFor(c.Seed, int64(pol), int64(xi), int64(rep), 20),
-						simSeed: seedFor(c.Seed, int64(xi), int64(rep), 21),
-					}
-					res, err := r.measure()
-					if err != nil {
-						return nil, err
-					}
-					sample.Add(float64(res.PagesSent))
+				for rep := 0; rep < reps; rep++ {
+					sample.Add(vals[((ri*len(pols)+pi)*len(sweep)+xi)*reps+rep])
 				}
 				series.Points = append(series.Points, Point{
 					X: frac * 100, Mean: sample.Mean(), CI: sample.CI90(), N: sample.N(),
@@ -80,28 +94,40 @@ func (c Config) ExtStar() (*Figure, error) {
 	}
 	q := workload.StarQuery(10)
 	next := workload.Next(workload.Moderate)
-	for _, pol := range allPolicies {
+	sweep := c.serverSweep()
+	reps := c.reps()
+	vals := make([]float64, len(allPolicies)*len(sweep)*reps)
+	err := parallelFor(len(vals), func(idx int) error {
+		pi, ki, rep := grid3(idx, len(sweep), reps)
+		k := sweep[ki]
+		rng := newRNG(seedFor(c.Seed, int64(k), int64(rep), 22))
+		cat, err := workload.BuildCatalog(4096, k, workload.PlaceRandom(rng, 10, k))
+		if err != nil {
+			return err
+		}
+		r := run{
+			cat: cat, q: q,
+			policy: allPolicies[pi], metric: cost.MetricResponseTime, maxAlloc: false,
+			next:    next,
+			optSeed: seedFor(c.Seed, int64(allPolicies[pi]), int64(k), int64(rep), 23),
+			simSeed: seedFor(c.Seed, int64(k), int64(rep), 24),
+		}
+		res, err := r.measure()
+		if err != nil {
+			return err
+		}
+		vals[idx] = res.ResponseTime
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, pol := range allPolicies {
 		series := Series{Name: policyNames[pol]}
-		for _, k := range c.serverSweep() {
+		for ki, k := range sweep {
 			var sample stats.Sample
-			for rep := 0; rep < c.reps(); rep++ {
-				rng := newRNG(seedFor(c.Seed, int64(k), int64(rep), 22))
-				cat, err := workload.BuildCatalog(4096, k, workload.PlaceRandom(rng, 10, k))
-				if err != nil {
-					return nil, err
-				}
-				r := run{
-					cat: cat, q: q,
-					policy: pol, metric: cost.MetricResponseTime, maxAlloc: false,
-					next:    next,
-					optSeed: seedFor(c.Seed, int64(pol), int64(k), int64(rep), 23),
-					simSeed: seedFor(c.Seed, int64(k), int64(rep), 24),
-				}
-				res, err := r.measure()
-				if err != nil {
-					return nil, err
-				}
-				sample.Add(res.ResponseTime)
+			for rep := 0; rep < reps; rep++ {
+				sample.Add(vals[(pi*len(sweep)+ki)*reps+rep])
 			}
 			series.Points = append(series.Points, Point{
 				X: float64(k), Mean: sample.Mean(), CI: sample.CI90(), N: sample.N(),
@@ -150,16 +176,21 @@ type AblationResult struct {
 // AblationLookahead varies the network producer's lookahead depth. The paper
 // fixes it at one page; deeper buffers trade memory for pipeline slack.
 func (c Config) AblationLookahead() ([]AblationResult, error) {
-	var out []AblationResult
-	for _, la := range []int{1, 4, 16} {
-		la := la
+	las := []int{1, 4, 16}
+	out := make([]AblationResult, len(las))
+	err := parallelFor(len(las), func(i int) error {
+		la := las[i]
 		rt, err := c.ablationRun(func(cfg *exec.Config) {
 			cfg.Params.LookaheadPages = la
 		}, seedFor(c.Seed, int64(la), 30))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, AblationResult{fmt.Sprintf("lookahead=%d", la), rt})
+		out[i] = AblationResult{fmt.Sprintf("lookahead=%d", la), rt}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -169,9 +200,10 @@ func (c Config) AblationLookahead() ([]AblationResult, error) {
 // partition write pay a full mechanical access, which is what the naive
 // model would charge.
 func (c Config) AblationWriteCache() ([]AblationResult, error) {
-	var out []AblationResult
-	for _, wb := range []bool{true, false} {
-		wb := wb
+	settings := []bool{true, false}
+	out := make([]AblationResult, len(settings))
+	err := parallelFor(len(settings), func(i int) error {
+		wb := settings[i]
 		name := "write-back"
 		if !wb {
 			name = "write-through"
@@ -182,9 +214,13 @@ func (c Config) AblationWriteCache() ([]AblationResult, error) {
 			}
 		}, seedFor(c.Seed, 31))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, AblationResult{name, rt})
+		out[i] = AblationResult{name, rt}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -192,9 +228,10 @@ func (c Config) AblationWriteCache() ([]AblationResult, error) {
 // AblationElevator compares SCAN (elevator) disk scheduling against FIFO
 // under external load, where request reordering matters most.
 func (c Config) AblationElevator() ([]AblationResult, error) {
-	var out []AblationResult
-	for _, fifo := range []bool{false, true} {
-		fifo := fifo
+	settings := []bool{false, true}
+	out := make([]AblationResult, len(settings))
+	err := parallelFor(len(settings), func(i int) error {
+		fifo := settings[i]
 		name := "elevator"
 		if fifo {
 			name = "fifo"
@@ -204,9 +241,13 @@ func (c Config) AblationElevator() ([]AblationResult, error) {
 			cfg.ServerLoad = map[catalog.SiteID]float64{0: 40}
 		}, seedFor(c.Seed, 32))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, AblationResult{name, rt})
+		out[i] = AblationResult{name, rt}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -221,28 +262,40 @@ func (c Config) AblationCommutativity() ([]AblationResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	settings := []bool{true, false}
+	reps := c.reps()
+	vals := make([]float64, len(settings)*reps)
+	err = parallelFor(len(vals), func(idx int) error {
+		comm := settings[idx/reps]
+		rep := idx % reps
+		model := &cost.Model{Params: cost.DefaultParams(), Catalog: cat, Query: q}
+		opts := opt.DefaultOptions(plan.HybridShipping, cost.MetricResponseTime,
+			seedFor(c.Seed, int64(rep), 33))
+		opts.Commutativity = comm
+		optRes, err := opt.New(model, opts).Optimize()
+		if err != nil {
+			return err
+		}
+		r := run{
+			cat: cat, q: q, maxAlloc: false,
+			next:    workload.Next(workload.HiSel),
+			simSeed: seedFor(c.Seed, int64(rep), 34),
+		}
+		res, err := exec.Run(r.execConfig(), optRes.Plan)
+		if err != nil {
+			return err
+		}
+		vals[idx] = res.ResponseTime
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []AblationResult
-	for _, comm := range []bool{true, false} {
+	for ci, comm := range settings {
 		var sample stats.Sample
-		for rep := 0; rep < c.reps(); rep++ {
-			model := &cost.Model{Params: cost.DefaultParams(), Catalog: cat, Query: q}
-			opts := opt.DefaultOptions(plan.HybridShipping, cost.MetricResponseTime,
-				seedFor(c.Seed, int64(rep), 33))
-			opts.Commutativity = comm
-			optRes, err := opt.New(model, opts).Optimize()
-			if err != nil {
-				return nil, err
-			}
-			r := run{
-				cat: cat, q: q, maxAlloc: false,
-				next:    workload.Next(workload.HiSel),
-				simSeed: seedFor(c.Seed, int64(rep), 34),
-			}
-			res, err := exec.Run(r.execConfig(), optRes.Plan)
-			if err != nil {
-				return nil, err
-			}
-			sample.Add(res.ResponseTime)
+		for rep := 0; rep < reps; rep++ {
+			sample.Add(vals[ci*reps+rep])
 		}
 		name := "with commutativity"
 		if !comm {
@@ -266,29 +319,39 @@ func (c Config) ExtAggregate() (*Figure, error) {
 		YLabel: "pages-sent",
 	}
 	groupSweep := []int{1, 100, 10000}
-	for _, pol := range allPolicies {
+	reps := c.reps()
+	vals := make([]float64, len(allPolicies)*len(groupSweep)*reps)
+	err := parallelFor(len(vals), func(idx int) error {
+		pi, gi, rep := grid3(idx, len(groupSweep), reps)
+		cat, err := workload.BuildCatalog(4096, 1, workload.PlaceRoundRobin(2, 1))
+		if err != nil {
+			return err
+		}
+		q := workload.ChainQuery(2, workload.Moderate)
+		q.GroupBy = groupSweep[gi]
+		r := run{
+			cat: cat, q: q,
+			policy: allPolicies[pi], metric: cost.MetricPagesSent, maxAlloc: true,
+			next:    workload.Next(workload.Moderate),
+			optSeed: seedFor(c.Seed, int64(allPolicies[pi]), int64(gi), int64(rep), 40),
+			simSeed: seedFor(c.Seed, int64(gi), int64(rep), 41),
+		}
+		res, err := r.measure()
+		if err != nil {
+			return err
+		}
+		vals[idx] = float64(res.PagesSent)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, pol := range allPolicies {
 		series := Series{Name: policyNames[pol]}
 		for gi, groups := range groupSweep {
 			var sample stats.Sample
-			for rep := 0; rep < c.reps(); rep++ {
-				cat, err := workload.BuildCatalog(4096, 1, workload.PlaceRoundRobin(2, 1))
-				if err != nil {
-					return nil, err
-				}
-				q := workload.ChainQuery(2, workload.Moderate)
-				q.GroupBy = groups
-				r := run{
-					cat: cat, q: q,
-					policy: pol, metric: cost.MetricPagesSent, maxAlloc: true,
-					next:    workload.Next(workload.Moderate),
-					optSeed: seedFor(c.Seed, int64(pol), int64(gi), int64(rep), 40),
-					simSeed: seedFor(c.Seed, int64(gi), int64(rep), 41),
-				}
-				res, err := r.measure()
-				if err != nil {
-					return nil, err
-				}
-				sample.Add(float64(res.PagesSent))
+			for rep := 0; rep < reps; rep++ {
+				sample.Add(vals[(pi*len(groupSweep)+gi)*reps+rep])
 			}
 			series.Points = append(series.Points, Point{
 				X: float64(groups), Mean: sample.Mean(), CI: sample.CI90(), N: sample.N(),
@@ -324,16 +387,18 @@ func (c Config) ExtMultiQuery() (*Figure, error) {
 		}, nil
 	}
 
-	real := Series{Name: "real concurrent queries"}
-	approx := Series{Name: "load approximation"}
-	for _, k := range []int{1, 2, 4} {
+	ks := []int{1, 2, 4}
+	real := Series{Name: "real concurrent queries", Points: make([]Point, len(ks))}
+	approx := Series{Name: "load approximation", Points: make([]Point, len(ks))}
+	err := parallelFor(len(ks), func(ki int) error {
+		k := ks[ki]
 		r, err := buildRun()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		optRes, err := r.optimize()
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		// (b) k real copies submitted together; report the mean per-query RT.
@@ -343,13 +408,13 @@ func (c Config) ExtMultiQuery() (*Figure, error) {
 		}
 		multi, err := exec.RunMulti(r.execConfig(), queries)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var sum float64
 		for _, qr := range multi.PerQuery {
 			sum += qr.ResponseTime
 		}
-		real.Points = append(real.Points, Point{X: float64(k), Mean: sum / float64(k), N: k})
+		real.Points[ki] = Point{X: float64(k), Mean: sum / float64(k), N: k}
 
 		// (c) one copy plus an external load approximating the k-1 others.
 		// Real concurrent queries are closed-loop: they self-throttle as the
@@ -363,9 +428,13 @@ func (c Config) ExtMultiQuery() (*Figure, error) {
 		}
 		res, err := exec.Run(cfg, optRes.Plan)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		approx.Points = append(approx.Points, Point{X: float64(k), Mean: res.ResponseTime, N: 1})
+		approx.Points[ki] = Point{X: float64(k), Mean: res.ResponseTime, N: 1}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	fig.Series = append(fig.Series, real, approx)
 	return fig, nil

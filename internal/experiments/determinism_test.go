@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestFiguresIdenticalAcrossGOMAXPROCS is the regression test for the
+// parallel experiment harness: tasks write into slots indexed by their grid
+// coordinates and draw all randomness from seedFor, so the rendered figure
+// must be byte-identical whether the grid runs on one worker or eight.
+func TestFiguresIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	cfg := Config{Reps: 2, Seed: 17, Quick: true}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	for _, fc := range []struct {
+		name string
+		fn   func() (*Figure, error)
+	}{
+		{"Fig2", cfg.Fig2},
+		{"Fig8", cfg.Fig8},
+	} {
+		runtime.GOMAXPROCS(1)
+		seq, err := fc.fn()
+		if err != nil {
+			t.Fatalf("%s sequential: %v", fc.name, err)
+		}
+		runtime.GOMAXPROCS(8)
+		par, err := fc.fn()
+		if err != nil {
+			t.Fatalf("%s parallel: %v", fc.name, err)
+		}
+		if seq.String() != par.String() {
+			t.Errorf("%s output differs between GOMAXPROCS=1 and 8:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				fc.name, seq, par)
+		}
+	}
+}

@@ -218,30 +218,43 @@ func (c Config) twoWayFigure(id, title string, metric cost.Metric, maxAlloc bool
 		XLabel: "cached[%]",
 		YLabel: metric.String(),
 	}
-	for _, pol := range allPolicies {
+	sweep := c.cachingSweep()
+	reps := c.reps()
+	// Every (policy, caching, rep) cell is independent: run the whole grid
+	// on the worker pool, each task writing its measurement into its slot.
+	vals := make([]float64, len(allPolicies)*len(sweep)*reps)
+	err := parallelFor(len(vals), func(idx int) error {
+		pi, xi, rep := grid3(idx, len(sweep), reps)
+		cat, err := workload.BuildCatalog(4096, 1, workload.PlaceRoundRobin(2, 1))
+		if err != nil {
+			return err
+		}
+		if err := workload.CacheAllFraction(cat, sweep[xi]); err != nil {
+			return err
+		}
+		r := run{
+			cat: cat, q: workload.ChainQuery(2, workload.Moderate),
+			policy: allPolicies[pi], metric: metric, maxAlloc: maxAlloc, load: load,
+			next:    workload.Next(workload.Moderate),
+			optSeed: seedFor(c.Seed, int64(allPolicies[pi]), int64(xi), int64(rep), 1),
+			simSeed: seedFor(c.Seed, int64(xi), int64(rep), 2),
+		}
+		res, err := r.measure()
+		if err != nil {
+			return err
+		}
+		vals[idx] = metricOf(metric, res)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, pol := range allPolicies {
 		series := Series{Name: policyNames[pol]}
-		for xi, frac := range c.cachingSweep() {
+		for xi, frac := range sweep {
 			var sample stats.Sample
-			for rep := 0; rep < c.reps(); rep++ {
-				cat, err := workload.BuildCatalog(4096, 1, workload.PlaceRoundRobin(2, 1))
-				if err != nil {
-					return nil, err
-				}
-				if err := workload.CacheAllFraction(cat, frac); err != nil {
-					return nil, err
-				}
-				r := run{
-					cat: cat, q: workload.ChainQuery(2, workload.Moderate),
-					policy: pol, metric: metric, maxAlloc: maxAlloc, load: load,
-					next:    workload.Next(workload.Moderate),
-					optSeed: seedFor(c.Seed, int64(pol), int64(xi), int64(rep), 1),
-					simSeed: seedFor(c.Seed, int64(xi), int64(rep), 2),
-				}
-				res, err := r.measure()
-				if err != nil {
-					return nil, err
-				}
-				sample.Add(metricOf(metric, res))
+			for rep := 0; rep < reps; rep++ {
+				sample.Add(vals[(pi*len(sweep)+xi)*reps+rep])
 			}
 			series.Points = append(series.Points, Point{
 				X: frac * 100, Mean: sample.Mean(), CI: sample.CI90(), N: sample.N(),
@@ -261,49 +274,54 @@ func (c Config) tenWayFigure(id, title string, metric cost.Metric, maxAlloc bool
 		XLabel: "servers",
 		YLabel: metric.String(),
 	}
-	samples := make(map[plan.Policy]map[int]*stats.Sample)
-	for _, pol := range allPolicies {
-		samples[pol] = make(map[int]*stats.Sample)
-		for _, k := range c.serverSweep() {
-			samples[pol][k] = &stats.Sample{}
-		}
-	}
-	for _, k := range c.serverSweep() {
-		for rep := 0; rep < c.reps(); rep++ {
-			// One random placement shared by all policies (paired runs).
-			rng := rand.New(rand.NewSource(seedFor(c.Seed, int64(k), int64(rep), 3)))
-			placement := workload.PlaceRandom(rng, 10, k)
-			for _, pol := range allPolicies {
-				cat, err := workload.BuildCatalog(4096, k, placement)
-				if err != nil {
-					return nil, err
-				}
-				if cachedRels > 0 {
-					if err := workload.CacheFirstK(cat, cachedRels); err != nil {
-						return nil, err
-					}
-				}
-				r := run{
-					cat: cat, q: workload.ChainQuery(10, workload.Moderate),
-					policy: pol, metric: metric, maxAlloc: maxAlloc,
-					next:    workload.Next(workload.Moderate),
-					optSeed: seedFor(c.Seed, int64(pol), int64(k), int64(rep), 4),
-					simSeed: seedFor(c.Seed, int64(k), int64(rep), 5),
-				}
-				res, err := r.measure()
-				if err != nil {
-					return nil, err
-				}
-				samples[pol][k].Add(metricOf(metric, res))
+	sweep := c.serverSweep()
+	reps := c.reps()
+	// Tasks are (servers, rep) pairs; the three policies stay sequential
+	// inside a task because they share one random placement (paired runs).
+	vals := make([]float64, len(sweep)*reps*len(allPolicies))
+	err := parallelFor(len(sweep)*reps, func(idx int) error {
+		rep := idx % reps
+		ki := idx / reps
+		k := sweep[ki]
+		rng := rand.New(rand.NewSource(seedFor(c.Seed, int64(k), int64(rep), 3)))
+		placement := workload.PlaceRandom(rng, 10, k)
+		for pi, pol := range allPolicies {
+			cat, err := workload.BuildCatalog(4096, k, placement)
+			if err != nil {
+				return err
 			}
+			if cachedRels > 0 {
+				if err := workload.CacheFirstK(cat, cachedRels); err != nil {
+					return err
+				}
+			}
+			r := run{
+				cat: cat, q: workload.ChainQuery(10, workload.Moderate),
+				policy: pol, metric: metric, maxAlloc: maxAlloc,
+				next:    workload.Next(workload.Moderate),
+				optSeed: seedFor(c.Seed, int64(pol), int64(k), int64(rep), 4),
+				simSeed: seedFor(c.Seed, int64(k), int64(rep), 5),
+			}
+			res, err := r.measure()
+			if err != nil {
+				return err
+			}
+			vals[idx*len(allPolicies)+pi] = metricOf(metric, res)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, pol := range allPolicies {
+	for pi, pol := range allPolicies {
 		series := Series{Name: policyNames[pol]}
-		for _, k := range c.serverSweep() {
-			s := samples[pol][k]
+		for ki, k := range sweep {
+			var sample stats.Sample
+			for rep := 0; rep < reps; rep++ {
+				sample.Add(vals[(ki*reps+rep)*len(allPolicies)+pi])
+			}
 			series.Points = append(series.Points, Point{
-				X: float64(k), Mean: s.Mean(), CI: s.CI90(), N: s.N(),
+				X: float64(k), Mean: sample.Mean(), CI: sample.CI90(), N: sample.N(),
 			})
 		}
 		fig.Series = append(fig.Series, series)
@@ -334,35 +352,46 @@ func (c Config) Fig4() (*Figure, error) {
 		YLabel: "response-time",
 	}
 	loads := []float64{0, 40, 60, 70}
+	sweep := c.cachingSweep()
+	reps := c.reps()
+	vals := make([]float64, len(loads)*len(sweep)*reps)
+	err := parallelFor(len(vals), func(idx int) error {
+		li, xi, rep := grid3(idx, len(sweep), reps)
+		var load map[catalog.SiteID]float64
+		if loads[li] > 0 {
+			load = map[catalog.SiteID]float64{0: loads[li]}
+		}
+		cat, err := workload.BuildCatalog(4096, 1, workload.PlaceRoundRobin(2, 1))
+		if err != nil {
+			return err
+		}
+		if err := workload.CacheAllFraction(cat, sweep[xi]); err != nil {
+			return err
+		}
+		r := run{
+			cat: cat, q: workload.ChainQuery(2, workload.Moderate),
+			policy: plan.DataShipping, metric: cost.MetricResponseTime,
+			maxAlloc: false, load: load,
+			next:    workload.Next(workload.Moderate),
+			optSeed: seedFor(c.Seed, int64(li), int64(xi), int64(rep), 6),
+			simSeed: seedFor(c.Seed, int64(li), int64(xi), int64(rep), 7),
+		}
+		res, err := r.measure()
+		if err != nil {
+			return err
+		}
+		vals[idx] = res.ResponseTime
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	for li, reqs := range loads {
 		series := Series{Name: fmt.Sprintf("%g req/sec", reqs)}
-		var load map[catalog.SiteID]float64
-		if reqs > 0 {
-			load = map[catalog.SiteID]float64{0: reqs}
-		}
-		for xi, frac := range c.cachingSweep() {
+		for xi, frac := range sweep {
 			var sample stats.Sample
-			for rep := 0; rep < c.reps(); rep++ {
-				cat, err := workload.BuildCatalog(4096, 1, workload.PlaceRoundRobin(2, 1))
-				if err != nil {
-					return nil, err
-				}
-				if err := workload.CacheAllFraction(cat, frac); err != nil {
-					return nil, err
-				}
-				r := run{
-					cat: cat, q: workload.ChainQuery(2, workload.Moderate),
-					policy: plan.DataShipping, metric: cost.MetricResponseTime,
-					maxAlloc: false, load: load,
-					next:    workload.Next(workload.Moderate),
-					optSeed: seedFor(c.Seed, int64(li), int64(xi), int64(rep), 6),
-					simSeed: seedFor(c.Seed, int64(li), int64(xi), int64(rep), 7),
-				}
-				res, err := r.measure()
-				if err != nil {
-					return nil, err
-				}
-				sample.Add(res.ResponseTime)
+			for rep := 0; rep < reps; rep++ {
+				sample.Add(vals[(li*len(sweep)+xi)*reps+rep])
 			}
 			series.Points = append(series.Points, Point{
 				X: frac * 100, Mean: sample.Mean(), CI: sample.CI90(), N: sample.N(),

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelFor runs fn(0..n-1) on a GOMAXPROCS-bounded worker pool and waits
+// for all of them. Each task must write its result into a distinct,
+// preallocated slot keyed by its index; callers then assemble the figure in
+// the original sequential order. Because every task derives its randomness
+// from seedFor coordinates (never from a shared stream) and the assembly
+// order is fixed, figure outputs are byte-identical to a sequential run for
+// any GOMAXPROCS or scheduling.
+//
+// Errors are collected per index and the lowest-index one is returned —
+// the same error a sequential loop would have reported first.
+func parallelFor(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// grid3 maps a flat task index back to (a, b, c) coordinates of an
+// a-major × b × c loop nest, matching the iteration order of the
+// sequential loops the drivers replace.
+func grid3(idx, nb, nc int) (a, b, c int) {
+	c = idx % nc
+	b = (idx / nc) % nb
+	a = idx / (nc * nb)
+	return
+}

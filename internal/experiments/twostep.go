@@ -160,13 +160,6 @@ func (c Config) twoStepFigure(id, title string, sel workload.Selectivity) (*Figu
 	next := workload.Next(sel)
 
 	seriesNames := []string{"Deep Static", "Deep 2-Step", "Bushy Static", "Bushy 2-Step"}
-	samples := make(map[string]map[int]*stats.Sample)
-	for _, name := range seriesNames {
-		samples[name] = make(map[int]*stats.Sample)
-		for _, k := range c.serverSweep() {
-			samples[name][k] = &stats.Sample{}
-		}
-	}
 
 	central, err := centralizedCatalog(nRels)
 	if err != nil {
@@ -177,78 +170,89 @@ func (c Config) twoStepFigure(id, title string, sel workload.Selectivity) (*Figu
 		return nil, err
 	}
 
-	for _, k := range c.serverSweep() {
-		for rep := 0; rep < c.reps(); rep++ {
-			// Compile-time plans know nothing about the true placement.
-			deepPlan, err := compileDeep(central, q, seedFor(c.Seed, int64(k), int64(rep), 10))
-			if err != nil {
-				return nil, err
-			}
-			bushyPlan, err := compileBushy(distributed, q, seedFor(c.Seed, int64(k), int64(rep), 11))
-			if err != nil {
-				return nil, err
-			}
-
-			// The runtime state: a random placement over k servers.
-			rng := rand.New(rand.NewSource(seedFor(c.Seed, int64(k), int64(rep), 12)))
-			trueCat, err := workload.BuildCatalog(4096, k, workload.PlaceRandom(rng, nRels, k))
-			if err != nil {
-				return nil, err
-			}
-			r := run{
-				cat: trueCat, q: q,
-				policy: plan.HybridShipping, metric: cost.MetricResponseTime,
-				maxAlloc: false, next: next,
-				optSeed: seedFor(c.Seed, int64(k), int64(rep), 13),
-				simSeed: seedFor(c.Seed, int64(k), int64(rep), 14),
-			}
-
-			ideal, err := r.measure()
-			if err != nil {
-				return nil, err
-			}
-			if ideal.ResponseTime <= 0 {
-				return nil, fmt.Errorf("experiments: ideal plan has zero response time")
-			}
-
-			for _, flavor := range []struct {
-				name       string
-				compiled   *plan.Node
-				compileCat *catalog.Catalog
-				twoStep    bool
-			}{
-				{"Deep Static", deepPlan, central, false},
-				{"Deep 2-Step", deepPlan, central, true},
-				{"Bushy Static", bushyPlan, distributed, false},
-				{"Bushy 2-Step", bushyPlan, distributed, true},
-			} {
-				var res exec.Result
-				if flavor.twoStep {
-					p, err := r.siteSelect(flavor.compiled)
-					if err != nil {
-						return nil, err
-					}
-					res, err = r.executePlan(p)
-					if err != nil {
-						return nil, err
-					}
-				} else {
-					res, err = r.executeStatic(flavor.compiled, flavor.compileCat)
-					if err != nil {
-						return nil, err
-					}
-				}
-				samples[flavor.name][k].Add(res.ResponseTime / ideal.ResponseTime)
-			}
+	sweep := c.serverSweep()
+	reps := c.reps()
+	// Tasks are (servers, rep) pairs; the four flavors stay sequential
+	// inside a task because they are normalized by one shared ideal run.
+	ratios := make([]float64, len(sweep)*reps*len(seriesNames))
+	err = parallelFor(len(sweep)*reps, func(idx int) error {
+		rep := idx % reps
+		k := sweep[idx/reps]
+		// Compile-time plans know nothing about the true placement.
+		deepPlan, err := compileDeep(central, q, seedFor(c.Seed, int64(k), int64(rep), 10))
+		if err != nil {
+			return err
 		}
+		bushyPlan, err := compileBushy(distributed, q, seedFor(c.Seed, int64(k), int64(rep), 11))
+		if err != nil {
+			return err
+		}
+
+		// The runtime state: a random placement over k servers.
+		rng := rand.New(rand.NewSource(seedFor(c.Seed, int64(k), int64(rep), 12)))
+		trueCat, err := workload.BuildCatalog(4096, k, workload.PlaceRandom(rng, nRels, k))
+		if err != nil {
+			return err
+		}
+		r := run{
+			cat: trueCat, q: q,
+			policy: plan.HybridShipping, metric: cost.MetricResponseTime,
+			maxAlloc: false, next: next,
+			optSeed: seedFor(c.Seed, int64(k), int64(rep), 13),
+			simSeed: seedFor(c.Seed, int64(k), int64(rep), 14),
+		}
+
+		ideal, err := r.measure()
+		if err != nil {
+			return err
+		}
+		if ideal.ResponseTime <= 0 {
+			return fmt.Errorf("experiments: ideal plan has zero response time")
+		}
+
+		for fi, flavor := range []struct {
+			compiled   *plan.Node
+			compileCat *catalog.Catalog
+			twoStep    bool
+		}{
+			{deepPlan, central, false},
+			{deepPlan, central, true},
+			{bushyPlan, distributed, false},
+			{bushyPlan, distributed, true},
+		} {
+			var res exec.Result
+			if flavor.twoStep {
+				p, err := r.siteSelect(flavor.compiled)
+				if err != nil {
+					return err
+				}
+				res, err = r.executePlan(p)
+				if err != nil {
+					return err
+				}
+			} else {
+				res, err = r.executeStatic(flavor.compiled, flavor.compileCat)
+				if err != nil {
+					return err
+				}
+			}
+			ratios[idx*len(seriesNames)+fi] = res.ResponseTime / ideal.ResponseTime
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	for _, name := range seriesNames {
+	for fi, name := range seriesNames {
 		series := Series{Name: name}
-		for _, k := range c.serverSweep() {
-			s := samples[name][k]
+		for ki, k := range sweep {
+			var sample stats.Sample
+			for rep := 0; rep < reps; rep++ {
+				sample.Add(ratios[(ki*reps+rep)*len(seriesNames)+fi])
+			}
 			series.Points = append(series.Points, Point{
-				X: float64(k), Mean: s.Mean(), CI: s.CI90(), N: s.N(),
+				X: float64(k), Mean: sample.Mean(), CI: sample.CI90(), N: sample.N(),
 			})
 		}
 		fig.Series = append(fig.Series, series)

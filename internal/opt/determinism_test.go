@@ -1,0 +1,74 @@
+package opt
+
+import (
+	"runtime"
+	"testing"
+
+	"hybridship/internal/cost"
+	"hybridship/internal/plan"
+)
+
+// TestDeterministicAcrossGOMAXPROCS is the regression test for the parallel
+// search: the optimizer derives every II start's RNG stream from the seed
+// (not from a shared stream consumed in scheduling order) and picks winners
+// by (value, start index), so the result must be bit-identical no matter how
+// many workers the pool gets. Run for every policy and both paper metrics.
+func TestDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	cat, q := chainEnv(6, 3, 0.25)
+	policies := []plan.Policy{plan.DataShipping, plan.QueryShipping, plan.HybridShipping}
+	metrics := []cost.Metric{cost.MetricPagesSent, cost.MetricResponseTime}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	for _, pol := range policies {
+		for _, metric := range metrics {
+			runtime.GOMAXPROCS(1)
+			seq, err := newOpt(cat, q, pol, metric, 99).Optimize()
+			if err != nil {
+				t.Fatalf("policy %v metric %v sequential: %v", pol, metric, err)
+			}
+			runtime.GOMAXPROCS(8)
+			par, err := newOpt(cat, q, pol, metric, 99).Optimize()
+			if err != nil {
+				t.Fatalf("policy %v metric %v parallel: %v", pol, metric, err)
+			}
+			if seq.Plan.String() != par.Plan.String() {
+				t.Errorf("policy %v metric %v: plans differ between GOMAXPROCS=1 and 8:\n%s\nvs\n%s",
+					pol, metric, seq.Plan, par.Plan)
+			}
+			if seq.Estimate != par.Estimate {
+				t.Errorf("policy %v metric %v: estimates differ between GOMAXPROCS=1 and 8: %+v vs %+v",
+					pol, metric, seq.Estimate, par.Estimate)
+			}
+		}
+	}
+}
+
+// TestOptimizeFromDeterministicAcrossGOMAXPROCS covers the 2-step site
+// selection path the same way.
+func TestOptimizeFromDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	cat, q := chainEnv(6, 3, 0)
+	o := newOpt(cat, q, plan.HybridShipping, cost.MetricResponseTime, 7)
+	start, err := o.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	runtime.GOMAXPROCS(1)
+	seq, err := newOpt(cat, q, plan.HybridShipping, cost.MetricResponseTime, 7).OptimizeFrom(start.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.GOMAXPROCS(8)
+	par, err := newOpt(cat, q, plan.HybridShipping, cost.MetricResponseTime, 7).OptimizeFrom(start.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Plan.String() != par.Plan.String() || seq.Estimate != par.Estimate {
+		t.Errorf("OptimizeFrom differs between GOMAXPROCS=1 and 8:\n%s\nvs\n%s", seq.Plan, par.Plan)
+	}
+}

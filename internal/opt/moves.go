@@ -2,6 +2,7 @@ package opt
 
 import (
 	"hybridship/internal/plan"
+	"hybridship/internal/query"
 )
 
 // moveKind enumerates the plan transformations of §3.1.1.
@@ -21,43 +22,130 @@ const (
 	mvScanAnn   // toggle a scan between client and primary copy
 )
 
-// move is one candidate transformation: a node (identified by pre-order
-// index, so it survives tree cloning) plus a kind and, for annotation moves,
-// the target annotation.
+// move is one candidate transformation: a node (identified by its pre-order
+// index into the step's node slice) plus a kind and, for annotation moves, a
+// slot selecting the target among the policy's allowed annotations for that
+// node, skipping the node's current one. Slot-based targets keep the move
+// list a function of the tree's *shape* only (the number of allowed
+// annotations depends on kind and policy, never on the current annotation),
+// so the enumeration can be cached across annotation-only moves.
 type move struct {
 	nodeIdx int
 	kind    moveKind
-	ann     plan.Annotation
+	slot    int
 }
 
-// nodeByIndex returns the pre-order i-th node of the tree.
-func nodeByIndex(root *plan.Node, idx int) *plan.Node {
-	var found *plan.Node
-	i := 0
-	root.Walk(func(n *plan.Node) {
-		if i == idx {
-			found = n
+// indexNodes rebuilds the pre-order node index into buf (reusing its backing
+// array) and returns it. The index replaces per-move O(n) tree walks: move
+// application resolves its target node with one slice lookup.
+func indexNodes(root *plan.Node, buf []*plan.Node) []*plan.Node {
+	buf = buf[:0]
+	var rec func(n *plan.Node)
+	rec = func(n *plan.Node) {
+		if n == nil {
+			return
 		}
-		i++
-	})
-	return found
+		buf = append(buf, n)
+		rec(n.Left)
+		rec(n.Right)
+	}
+	rec(root)
+	return buf
 }
 
-// candidateMoves enumerates every legal move on the plan under the
-// optimizer's policy. Join-order moves are offered only when the resulting
+// subtreeMask returns the base-relation bitmask scanned under a node; the
+// allocation-free counterpart of plan.Node.BaseTables for mask-capable
+// queries.
+func subtreeMask(q *query.Query, n *plan.Node) uint64 {
+	if n == nil {
+		return 0
+	}
+	if n.Kind == plan.KindScan {
+		return q.RelMask(n.Table)
+	}
+	return subtreeMask(q, n.Left) | subtreeMask(q, n.Right)
+}
+
+// candidateMoves enumerates every legal move on the plan under the policy,
+// appending into buf. Join-order moves are offered only when the resulting
 // joins avoid Cartesian products; annotation moves are offered only for
 // annotations the policy allows (Table 1) — which is how the optimizer is
 // "configured to generate plans from one of the three policies" (§3.1.1).
-func (o *Optimizer) candidateMoves(root *plan.Node) []move {
-	q := o.model.Query
-	var moves []move
-	idx := -1
-	root.Walk(func(n *plan.Node) {
-		idx++
-		i := idx
+// The result depends only on the tree's shape (and the fixed policy), so
+// callers cache it until a join-order move is accepted.
+func candidateMoves(q *query.Query, opts Options, nodes []*plan.Node, buf []move) []move {
+	if q.MaskSupported() {
+		return candidateMovesMask(q, opts, nodes, buf)
+	}
+	return candidateMovesMaps(q, opts, nodes, buf)
+}
+
+// candidateMovesMask is the allocation-free enumeration over relation
+// bitmasks, used for every query of at most 64 relations.
+func candidateMovesMask(q *query.Query, opts Options, nodes []*plan.Node, buf []move) []move {
+	moves := buf[:0]
+	for i, n := range nodes {
 		switch n.Kind {
 		case plan.KindJoin:
-			if !o.opts.FixedJoinOrder && o.opts.LeftDeepOnly {
+			if !opts.FixedJoinOrder && opts.LeftDeepOnly {
+				a, b := n.Left, n.Right
+				if a.Kind == plan.KindJoin {
+					tx, ta := subtreeMask(q, a.Left), subtreeMask(q, a.Right)
+					tb := subtreeMask(q, b)
+					if q.ConnectedMask(tx, tb) && q.ConnectedMask(tx|tb, ta) {
+						moves = append(moves, move{i, mvSwapAdjacent, 0})
+					}
+				}
+				if opts.Commutativity && a.Kind != plan.KindJoin {
+					moves = append(moves, move{i, mvCommute, 0})
+				}
+			}
+			if !opts.FixedJoinOrder && !opts.LeftDeepOnly {
+				a, b := n.Left, n.Right
+				if a.Kind == plan.KindJoin {
+					// (A⋈B)⋈C with A=a.Left, B=a.Right, C=b
+					ta, tb := subtreeMask(q, a.Left), subtreeMask(q, a.Right)
+					tc := subtreeMask(q, b)
+					if q.ConnectedMask(tb, tc) && q.ConnectedMask(ta, tb|tc) {
+						moves = append(moves, move{i, mvAssocLeftToRight, 0})
+					}
+					if q.ConnectedMask(ta, tc) && q.ConnectedMask(tb, ta|tc) {
+						moves = append(moves, move{i, mvExchangeLeft, 0})
+					}
+				}
+				if b.Kind == plan.KindJoin {
+					// A⋈(B⋈C) with A=a, B=b.Left, C=b.Right
+					ta := subtreeMask(q, a)
+					tb, tc := subtreeMask(q, b.Left), subtreeMask(q, b.Right)
+					if q.ConnectedMask(ta, tb) && q.ConnectedMask(ta|tb, tc) {
+						moves = append(moves, move{i, mvAssocRightToLeft, 0})
+					}
+					if q.ConnectedMask(ta, tc) && q.ConnectedMask(ta|tc, tb) {
+						moves = append(moves, move{i, mvExchangeRight, 0})
+					}
+				}
+				if opts.Commutativity {
+					moves = append(moves, move{i, mvCommute, 0})
+				}
+			}
+			moves = appendAnnMoves(moves, i, mvJoinAnn, plan.KindJoin, opts.Policy)
+		case plan.KindSelect, plan.KindAgg:
+			moves = appendAnnMoves(moves, i, mvSelectAnn, n.Kind, opts.Policy)
+		case plan.KindScan:
+			moves = appendAnnMoves(moves, i, mvScanAnn, plan.KindScan, opts.Policy)
+		}
+	}
+	return moves
+}
+
+// candidateMovesMaps is the map-set fallback for queries too wide for
+// bitmasks.
+func candidateMovesMaps(q *query.Query, opts Options, nodes []*plan.Node, buf []move) []move {
+	moves := buf[:0]
+	for i, n := range nodes {
+		switch n.Kind {
+		case plan.KindJoin:
+			if !opts.FixedJoinOrder && opts.LeftDeepOnly {
 				// Moves closed over the left-deep space: swap the outer with
 				// the adjacent lower outer, and commute the bottom join.
 				// Both are compositions of the paper's moves 1-4 (e.g.
@@ -69,11 +157,11 @@ func (o *Optimizer) candidateMoves(root *plan.Node) []move {
 						moves = append(moves, move{i, mvSwapAdjacent, 0})
 					}
 				}
-				if o.opts.Commutativity && a.Kind != plan.KindJoin {
+				if opts.Commutativity && a.Kind != plan.KindJoin {
 					moves = append(moves, move{i, mvCommute, 0})
 				}
 			}
-			if !o.opts.FixedJoinOrder && !o.opts.LeftDeepOnly {
+			if !opts.FixedJoinOrder && !opts.LeftDeepOnly {
 				a, b := n.Left, n.Right
 				if a.Kind == plan.KindJoin {
 					// (A⋈B)⋈C with A=a.Left, B=a.Right, C=b
@@ -95,73 +183,114 @@ func (o *Optimizer) candidateMoves(root *plan.Node) []move {
 						moves = append(moves, move{i, mvExchangeRight, 0})
 					}
 				}
-				if o.opts.Commutativity {
+				if opts.Commutativity {
 					moves = append(moves, move{i, mvCommute, 0})
 				}
 			}
-			for _, ann := range plan.AllowedAnnotations(plan.KindJoin, o.opts.Policy) {
-				if ann != n.Ann {
-					moves = append(moves, move{i, mvJoinAnn, ann})
-				}
-			}
+			moves = appendAnnMoves(moves, i, mvJoinAnn, plan.KindJoin, opts.Policy)
 		case plan.KindSelect, plan.KindAgg:
-			for _, ann := range plan.AllowedAnnotations(n.Kind, o.opts.Policy) {
-				if ann != n.Ann {
-					moves = append(moves, move{i, mvSelectAnn, ann})
-				}
-			}
+			moves = appendAnnMoves(moves, i, mvSelectAnn, n.Kind, opts.Policy)
 		case plan.KindScan:
-			for _, ann := range plan.AllowedAnnotations(plan.KindScan, o.opts.Policy) {
-				if ann != n.Ann {
-					moves = append(moves, move{i, mvScanAnn, ann})
-				}
-			}
+			moves = appendAnnMoves(moves, i, mvScanAnn, plan.KindScan, opts.Policy)
 		}
-	})
+	}
 	return moves
 }
 
-// neighbor returns a random legal transformation of the plan, or ok=false if
-// the plan admits no moves. The returned tree is a fresh clone; the input is
-// not modified. Neighbors may be ill-formed (annotation cycles); callers
-// must validate via binding, per §2.2.3 ("it is very easy to sort out
-// ill-formed plans during query optimization").
-func (o *Optimizer) neighbor(root *plan.Node) (*plan.Node, bool) {
-	moves := o.candidateMoves(root)
-	if len(moves) == 0 {
-		return nil, false
+// appendAnnMoves adds one slot per alternative annotation: a node with m
+// allowed annotations always has exactly m-1 targets other than its current
+// one, whatever that current one is.
+func appendAnnMoves(moves []move, i int, kind moveKind, k plan.Kind, p plan.Policy) []move {
+	for s := 0; s < len(plan.AllowedAnnotations(k, p))-1; s++ {
+		moves = append(moves, move{i, kind, s})
 	}
-	mv := moves[o.rng.Intn(len(moves))]
-	next := root.Clone()
-	n := nodeByIndex(next, mv.nodeIdx)
+	return moves
+}
+
+// targetAnn resolves a slot-based annotation move: the slot-th allowed
+// annotation for the node, skipping the node's current one.
+func targetAnn(n *plan.Node, p plan.Policy, slot int) plan.Annotation {
+	for _, ann := range plan.AllowedAnnotations(n.Kind, p) {
+		if ann == n.Ann {
+			continue
+		}
+		if slot == 0 {
+			return ann
+		}
+		slot--
+	}
+	return n.Ann // unreachable for a legal move
+}
+
+// undoRec restores the (at most two) nodes a move rewires, so the search
+// can try a candidate in place and revert it without cloning the tree.
+type undoRec struct {
+	n, k          *plan.Node
+	nLeft, nRight *plan.Node
+	kLeft, kRight *plan.Node
+	nAnn, kAnn    plan.Annotation
+	changedShape  bool
+}
+
+// revert undoes the move recorded by applyMove.
+func (u *undoRec) revert() {
+	if u.n != nil {
+		u.n.Left, u.n.Right, u.n.Ann = u.nLeft, u.nRight, u.nAnn
+	}
+	if u.k != nil {
+		u.k.Left, u.k.Right, u.k.Ann = u.kLeft, u.kRight, u.kAnn
+	}
+}
+
+// applyMove mutates the plan in place, records the revert state in u, and
+// reports whether the move changed the tree's shape (invalidating the node
+// index and the cached move list). Neighbors may be ill-formed (annotation
+// cycles); callers must validate via binding, per §2.2.3 ("it is very easy
+// to sort out ill-formed plans during query optimization").
+func applyMove(nodes []*plan.Node, mv move, p plan.Policy, u *undoRec) bool {
+	n := nodes[mv.nodeIdx]
+	*u = undoRec{n: n, nLeft: n.Left, nRight: n.Right, nAnn: n.Ann}
+	saveChild := func(k *plan.Node) {
+		u.k, u.kLeft, u.kRight, u.kAnn = k, k.Left, k.Right, k.Ann
+	}
 	switch mv.kind {
 	case mvAssocLeftToRight:
 		// (A⋈B)⋈C → A⋈(B⋈C); the lower join node is reused for B⋈C.
 		k := n.Left
+		saveChild(k)
 		a, b, c := k.Left, k.Right, n.Right
 		k.Left, k.Right = b, c
 		n.Left, n.Right = a, k
+		u.changedShape = true
 	case mvExchangeLeft:
 		// (A⋈B)⋈C → B⋈(A⋈C)
 		k := n.Left
+		saveChild(k)
 		a, b, c := k.Left, k.Right, n.Right
 		k.Left, k.Right = a, c
 		n.Left, n.Right = b, k
+		u.changedShape = true
 	case mvAssocRightToLeft:
 		// A⋈(B⋈C) → (A⋈B)⋈C
 		k := n.Right
+		saveChild(k)
 		a, b, c := n.Left, k.Left, k.Right
 		k.Left, k.Right = a, b
 		n.Left, n.Right = k, c
+		u.changedShape = true
 	case mvExchangeRight:
 		// A⋈(B⋈C) → (A⋈C)⋈B
 		k := n.Right
+		saveChild(k)
 		a, b, c := n.Left, k.Left, k.Right
 		k.Left, k.Right = a, c
 		n.Left, n.Right = k, b
+		u.changedShape = true
 	case mvSwapAdjacent:
 		k := n.Left
+		saveChild(k)
 		k.Right, n.Right = n.Right, k.Right
+		u.changedShape = true
 	case mvCommute:
 		n.Left, n.Right = n.Right, n.Left
 		// Inner/outer annotations follow their operands across the swap so
@@ -172,8 +301,28 @@ func (o *Optimizer) neighbor(root *plan.Node) (*plan.Node, bool) {
 		case plan.AnnOuter:
 			n.Ann = plan.AnnInner
 		}
+		u.changedShape = true
 	case mvJoinAnn, mvSelectAnn, mvScanAnn:
-		n.Ann = mv.ann
+		n.Ann = targetAnn(n, p, mv.slot)
 	}
+	return u.changedShape
+}
+
+// neighbor returns a random legal transformation of the plan, or ok=false
+// if the plan admits no moves. The returned tree is a fresh clone; the
+// input is not modified. It is the non-destructive counterpart of the
+// in-place searchState stepping, kept for one-off exploration and tests.
+func (o *Optimizer) neighbor(root *plan.Node) (*plan.Node, bool) {
+	nodes := indexNodes(root, nil)
+	moves := candidateMoves(o.model.Query, o.opts, nodes, nil)
+	if len(moves) == 0 {
+		return nil, false
+	}
+	o.mu.Lock()
+	mv := moves[o.rng.Intn(len(moves))]
+	o.mu.Unlock()
+	next := root.Clone()
+	var u undoRec
+	applyMove(indexNodes(next, nil), mv, o.opts.Policy, &u)
 	return next, true
 }

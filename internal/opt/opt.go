@@ -10,13 +10,21 @@
 // plans: site selection over a fixed join order (the runtime half of 2-step
 // optimization) and optimization against an "assumed" catalog (the compile
 // time half).
+//
+// The II starts run concurrently on a worker pool bounded by GOMAXPROCS;
+// every start and the SA chain draw from their own rand.Rand derived
+// deterministically from Options.Seed, so a seeded optimization returns the
+// identical plan and estimate for any GOMAXPROCS. Optimize and OptimizeFrom
+// are safe for concurrent use on one Optimizer.
 package opt
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"hybridship/internal/catalog"
 	"hybridship/internal/cost"
@@ -71,10 +79,18 @@ func DefaultOptions(policy plan.Policy, metric cost.Metric, seed int64) Options 
 }
 
 // Optimizer searches for a good plan for one query against one catalog.
+// Its option fields are never mutated after New: restricted searches (e.g.
+// OptimizeFrom's fixed join order) pass a copied Options value down, so
+// concurrent searches on one receiver cannot observe each other's state.
 type Optimizer struct {
 	model *cost.Model
 	opts  Options
-	rng   *rand.Rand
+
+	// rng backs the public RandomPlan entry point only; the searches in
+	// Optimize/OptimizeFrom use per-phase derived streams instead. Guarded
+	// by mu so RandomPlan stays usable alongside concurrent searches.
+	mu  sync.Mutex
+	rng *rand.Rand
 }
 
 // New creates an optimizer. The model carries the catalog, query and cost
@@ -119,125 +135,116 @@ func (o *Optimizer) evaluate(root *plan.Node) (plan.Binding, cost.Estimate, bool
 	return b, o.model.Estimate(root, b), true
 }
 
-// Optimize runs two-phase optimization (II then SA) and returns the best
-// plan found.
-func (o *Optimizer) Optimize() (Result, error) {
-	start, err := o.RandomPlan()
+// finish rebinds a snapshot so the returned Result carries a Binding over
+// the returned tree's own nodes.
+func (o *Optimizer) finish(r Result) (Result, error) {
+	b, err := plan.Bind(r.Plan, o.model.Catalog, catalog.Client)
 	if err != nil {
-		return Result{}, err
+		return Result{}, fmt.Errorf("opt: best plan failed to rebind: %w", err)
 	}
-	best := o.iterativeImprovement(start)
-	best = o.simulatedAnnealing(best)
-	return best, nil
+	r.Binding = b
+	return r, nil
+}
+
+// Optimize runs two-phase optimization (II then SA) and returns the best
+// plan found. The IIStarts random descents run concurrently on a worker
+// pool bounded by GOMAXPROCS; each start draws from its own rand.Rand
+// derived deterministically from Options.Seed and the start index, and the
+// winner is chosen by (value, start index), so the result is identical
+// whatever the worker count or scheduling.
+func (o *Optimizer) Optimize() (Result, error) {
+	type iiOut struct {
+		res Result
+		err error
+		ok  bool
+	}
+	starts := o.opts.IIStarts
+	outs := make([]iiOut, starts)
+	workers := min(runtime.GOMAXPROCS(0), starts)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One searchState per worker: the memo and buffers are reused
+			// across the starts this worker happens to pick up, which never
+			// affects the (deterministic) per-start results.
+			st := newSearch(o, o.opts, nil)
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= starts {
+					return
+				}
+				st.rng = rand.New(rand.NewSource(deriveSeed(o.opts.Seed, seedPhaseII, int64(i))))
+				r, err := o.randomPlan(st.rng)
+				if err != nil {
+					outs[i] = iiOut{err: err}
+					continue
+				}
+				st.reset(r.Plan, r.Estimate)
+				st.descend()
+				outs[i] = iiOut{res: st.snapshot(), ok: true}
+			}
+		}()
+	}
+	wg.Wait()
+
+	best, found := Result{}, false
+	for _, out := range outs { // ascending start index breaks value ties
+		if out.ok && (!found || o.value(out.res.Estimate) < o.value(best.Estimate)) {
+			best, found = out.res, true
+		}
+	}
+	if !found {
+		for _, out := range outs {
+			if out.err != nil {
+				return Result{}, out.err
+			}
+		}
+		return Result{}, fmt.Errorf("opt: no iterative-improvement start succeeded")
+	}
+
+	st := newSearch(o, o.opts, rand.New(rand.NewSource(deriveSeed(o.opts.Seed, seedPhaseSA))))
+	st.reset(best.Plan, best.Estimate) // best.Plan is a private clone
+	return o.finish(st.anneal())
 }
 
 // OptimizeFrom runs site-selection-only simulated annealing starting from
 // the given plan, keeping its join order (the runtime phase of 2-step
 // optimization). The plan's annotations are kept as the starting state.
+// The join-order restriction travels in a copied Options value — the
+// shared receiver is never mutated.
 func (o *Optimizer) OptimizeFrom(root *plan.Node) (Result, error) {
 	r := root.Clone()
-	b, e, ok := o.evaluate(r)
+	_, e, ok := o.evaluate(r)
 	if !ok {
 		return Result{}, fmt.Errorf("opt: starting plan is ill-formed")
 	}
-	cur := Result{Plan: r, Binding: b, Estimate: e}
-	fixed := o.opts.FixedJoinOrder
-	o.opts.FixedJoinOrder = true
-	res := o.simulatedAnnealing(cur)
-	o.opts.FixedJoinOrder = fixed
-	return res, nil
-}
-
-// iterativeImprovement performs IIStarts descents from random plans and
-// returns the best local minimum.
-func (o *Optimizer) iterativeImprovement(start Result) Result {
-	best := start
-	for i := 0; i < o.opts.IIStarts; i++ {
-		cur := start
-		if i > 0 {
-			p, err := o.RandomPlan()
-			if err != nil {
-				continue
-			}
-			cur = p
-		}
-		failures := 0
-		for failures < o.opts.IIMaxFailures {
-			next, ok := o.neighbor(cur.Plan)
-			if !ok {
-				break // no legal moves at all (e.g. DS 2-way join)
-			}
-			b, e, valid := o.evaluate(next)
-			if valid && o.value(e) < o.value(cur.Estimate) {
-				cur = Result{Plan: next, Binding: b, Estimate: e}
-				failures = 0
-			} else {
-				failures++
-			}
-		}
-		if o.value(cur.Estimate) < o.value(best.Estimate) {
-			best = cur
-		}
-	}
-	return best
-}
-
-// simulatedAnnealing refines a plan with the IK90 annealing schedule.
-func (o *Optimizer) simulatedAnnealing(start Result) Result {
-	cur, best := start, start
-	joins := len(start.Plan.Joins())
-	if joins == 0 {
-		return best
-	}
-	temp := o.opts.SATempFactor * o.value(start.Estimate)
-	if temp <= 0 {
-		temp = 1e-9
-	}
-	floor := 1e-4 * o.value(start.Estimate)
-	if floor <= 0 {
-		floor = 1e-12
-	}
-	stagesSinceImprove := 0
-	for stagesSinceImprove < o.opts.SAFrozenStages || temp > floor {
-		improved := false
-		inner := o.opts.SAInnerFactor * joins
-		for i := 0; i < inner; i++ {
-			next, ok := o.neighbor(cur.Plan)
-			if !ok {
-				return best
-			}
-			b, e, valid := o.evaluate(next)
-			if !valid {
-				continue
-			}
-			delta := o.value(e) - o.value(cur.Estimate)
-			if delta <= 0 || o.rng.Float64() < math.Exp(-delta/temp) {
-				cur = Result{Plan: next, Binding: b, Estimate: e}
-				if o.value(e) < o.value(best.Estimate) {
-					best = cur
-					improved = true
-				}
-			}
-		}
-		if improved {
-			stagesSinceImprove = 0
-		} else {
-			stagesSinceImprove++
-		}
-		temp *= o.opts.SATempReduce
-	}
-	return best
+	opts := o.opts
+	opts.FixedJoinOrder = true
+	st := newSearch(o, opts, rand.New(rand.NewSource(deriveSeed(o.opts.Seed, seedPhaseFrom))))
+	st.reset(r, e)
+	return o.finish(st.anneal())
 }
 
 // RandomPlan draws a random, well-formed plan from the policy's search
 // space, avoiding Cartesian products.
 func (o *Optimizer) RandomPlan() (Result, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.randomPlan(o.rng)
+}
+
+// randomPlan is RandomPlan over an explicit random stream, so concurrent
+// II starts can each draw their own without sharing state.
+func (o *Optimizer) randomPlan(rng *rand.Rand) (Result, error) {
 	q := o.model.Query
 	if err := q.Validate(); err != nil {
 		return Result{}, err
 	}
 	for attempt := 0; attempt < 100; attempt++ {
-		tree, err := o.randomJoinTree()
+		tree, err := o.randomJoinTree(rng)
 		if err != nil {
 			return Result{}, err
 		}
@@ -245,7 +252,7 @@ func (o *Optimizer) RandomPlan() (Result, error) {
 			tree = plan.NewAgg(tree)
 		}
 		root := plan.NewDisplay(tree)
-		o.randomizeAnnotations(root)
+		o.randomizeAnnotations(rng, root)
 		if b, e, ok := o.evaluate(root); ok {
 			return Result{Plan: root, Binding: b, Estimate: e}, nil
 		}
@@ -256,9 +263,9 @@ func (o *Optimizer) RandomPlan() (Result, error) {
 // randomJoinTree builds a random join tree over the query's relations by
 // repeatedly joining two connected components (or, in left-deep mode, by
 // extending a single chain with one connected relation at a time).
-func (o *Optimizer) randomJoinTree() (*plan.Node, error) {
+func (o *Optimizer) randomJoinTree(rng *rand.Rand) (*plan.Node, error) {
 	if o.opts.LeftDeepOnly {
-		return o.randomLeftDeepTree()
+		return o.randomLeftDeepTree(rng)
 	}
 	q := o.model.Query
 	type comp struct {
@@ -287,9 +294,9 @@ func (o *Optimizer) randomJoinTree() (*plan.Node, error) {
 		if len(pairs) == 0 {
 			return nil, fmt.Errorf("opt: query join graph is disconnected")
 		}
-		pk := pairs[o.rng.Intn(len(pairs))]
+		pk := pairs[rng.Intn(len(pairs))]
 		i, j := pk.i, pk.j
-		if o.rng.Intn(2) == 0 {
+		if rng.Intn(2) == 0 {
 			i, j = j, i
 		}
 		joined := comp{
@@ -310,16 +317,16 @@ func (o *Optimizer) randomJoinTree() (*plan.Node, error) {
 
 // randomizeAnnotations assigns each operator a random annotation allowed by
 // the policy.
-func (o *Optimizer) randomizeAnnotations(root *plan.Node) {
+func (o *Optimizer) randomizeAnnotations(rng *rand.Rand, root *plan.Node) {
 	root.Walk(func(n *plan.Node) {
 		anns := plan.AllowedAnnotations(n.Kind, o.opts.Policy)
-		n.Ann = anns[o.rng.Intn(len(anns))]
+		n.Ann = anns[rng.Intn(len(anns))]
 	})
 }
 
 // randomLeftDeepTree grows a left-deep chain from a random starting
 // relation, adding one connected relation as the outer at each step.
-func (o *Optimizer) randomLeftDeepTree() (*plan.Node, error) {
+func (o *Optimizer) randomLeftDeepTree(rng *rand.Rand) (*plan.Node, error) {
 	q := o.model.Query
 	leaf := func(r string) *plan.Node {
 		var n *plan.Node = plan.NewScan(r)
@@ -332,7 +339,7 @@ func (o *Optimizer) randomLeftDeepTree() (*plan.Node, error) {
 	for _, r := range q.Relations {
 		remaining[r] = true
 	}
-	start := q.Relations[o.rng.Intn(len(q.Relations))]
+	start := q.Relations[rng.Intn(len(q.Relations))]
 	delete(remaining, start)
 	tree := leaf(start)
 	joined := map[string]bool{start: true}
@@ -347,7 +354,7 @@ func (o *Optimizer) randomLeftDeepTree() (*plan.Node, error) {
 			return nil, fmt.Errorf("opt: query join graph is disconnected")
 		}
 		sort.Strings(candidates) // deterministic order under a seed
-		r := candidates[o.rng.Intn(len(candidates))]
+		r := candidates[rng.Intn(len(candidates))]
 		delete(remaining, r)
 		joined[r] = true
 		tree = plan.NewJoin(tree, leaf(r))

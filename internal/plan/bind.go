@@ -18,10 +18,36 @@ type Binding map[*Node]catalog.SiteID
 // e.g. a consumer whose child is annotated producer — cannot be resolved and
 // is rejected as ill-formed (§2.2.3).
 func Bind(root *Node, cat *catalog.Catalog, submitSite catalog.SiteID) (Binding, error) {
+	var bd Binder
+	return bd.Bind(root, cat, submitSite)
+}
+
+// Binder resolves plans repeatedly while reusing its internal maps and
+// worklists, so a search loop does not allocate fresh parent and binding
+// maps for every candidate it evaluates. The Binding returned by Bind
+// aliases the Binder's storage and is valid only until the next Bind call;
+// callers that need a persistent Binding must copy it (or use the
+// package-level Bind).
+type Binder struct {
+	parent     map[*Node]*Node
+	b          Binding
+	unresolved []*Node
+	still      []*Node
+}
+
+// Bind is the reusable-buffer form of the package-level Bind.
+func (bd *Binder) Bind(root *Node, cat *catalog.Catalog, submitSite catalog.SiteID) (Binding, error) {
 	if err := CheckStructure(root); err != nil {
 		return nil, err
 	}
-	parent := make(map[*Node]*Node)
+	if bd.parent == nil {
+		bd.parent = make(map[*Node]*Node)
+		bd.b = make(Binding)
+	} else {
+		clear(bd.parent)
+		clear(bd.b)
+	}
+	parent := bd.parent
 	root.Walk(func(n *Node) {
 		if n.Left != nil {
 			parent[n.Left] = n
@@ -31,8 +57,8 @@ func Bind(root *Node, cat *catalog.Catalog, submitSite catalog.SiteID) (Binding,
 		}
 	})
 
-	b := make(Binding)
-	var unresolved []*Node
+	b := bd.b
+	unresolved := bd.unresolved[:0]
 
 	// Pass 1: anchors.
 	root.Walk(func(n *Node) {
@@ -80,12 +106,14 @@ func Bind(root *Node, cat *catalog.Catalog, submitSite catalog.SiteID) (Binding,
 		}
 		return nil, fmt.Errorf("plan: %v has invalid annotation %v", n.Kind, n.Ann)
 	}
+	still := bd.still[:0]
 	for len(unresolved) > 0 {
 		progress := false
-		var still []*Node
+		still = still[:0]
 		for _, n := range unresolved {
 			ref, err := refSite(n)
 			if err != nil {
+				bd.unresolved, bd.still = unresolved, still
 				return nil, err
 			}
 			if site, ok := b[ref]; ok {
@@ -95,11 +123,13 @@ func Bind(root *Node, cat *catalog.Catalog, submitSite catalog.SiteID) (Binding,
 				still = append(still, n)
 			}
 		}
-		unresolved = still
+		unresolved, still = still, unresolved
 		if !progress && len(unresolved) > 0 {
+			bd.unresolved, bd.still = unresolved, still
 			return nil, fmt.Errorf("plan: ill-formed: %d operator(s) form an annotation cycle", len(unresolved))
 		}
 	}
+	bd.unresolved, bd.still = unresolved, still
 	return b, nil
 }
 

@@ -1,0 +1,25 @@
+package plan
+
+// AppendKey appends a compact encoding of the subtree's shape and
+// annotations to buf and returns the extended slice. Every operator kind
+// has a fixed arity, so the pre-order encoding is unambiguous: two plans
+// over the same catalog have equal keys iff their trees are identical
+// (same shape, same annotations, same relations). The optimizer uses the
+// key to memoize (bind + estimate) results for plan states the randomized
+// search revisits.
+func AppendKey(buf []byte, n *Node) []byte {
+	if n == nil {
+		return buf
+	}
+	buf = append(buf, byte(n.Kind)<<4|byte(n.Ann))
+	switch n.Kind {
+	case KindScan:
+		buf = append(buf, n.Table...)
+		buf = append(buf, 0)
+	case KindSelect:
+		buf = append(buf, n.Rel...)
+		buf = append(buf, 0)
+	}
+	buf = AppendKey(buf, n.Left)
+	return AppendKey(buf, n.Right)
+}

@@ -100,9 +100,29 @@ func (p Policy) String() string {
 	return fmt.Sprintf("policy(%d)", int(p))
 }
 
+// allowedTable caches the Table 1 annotation sets per (kind, policy) so the
+// optimizer's hot path doesn't allocate a slice on every lookup.
+var allowedTable = func() [5][3][]Annotation {
+	var t [5][3][]Annotation
+	for k := KindDisplay; k <= KindAgg; k++ {
+		for p := DataShipping; p <= HybridShipping; p++ {
+			t[k][p] = computeAllowed(k, p)
+		}
+	}
+	return t
+}()
+
 // AllowedAnnotations reproduces Table 1: the annotations each policy permits
-// for an operator kind.
+// for an operator kind. The returned slice is shared and must not be
+// modified.
 func AllowedAnnotations(k Kind, p Policy) []Annotation {
+	if k < 0 || int(k) >= len(allowedTable) || p < 0 || int(p) >= len(allowedTable[0]) {
+		return nil
+	}
+	return allowedTable[k][p]
+}
+
+func computeAllowed(k Kind, p Policy) []Annotation {
 	switch k {
 	case KindDisplay:
 		return []Annotation{AnnClient}

@@ -4,7 +4,10 @@
 // joins; this package is agnostic to the join-graph shape.
 package query
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Pred is an equijoin predicate between two base relations. Selectivity is
 // the classical join selectivity factor: |A ⋈ B| = |A|·|B|·Selectivity.
@@ -28,6 +31,20 @@ type Query struct {
 	// being displayed. Aggregations are annotated like selections (paper
 	// footnote 4) and may run at the client or at a producer site.
 	GroupBy int
+
+	// Lazily built relation-bitmask tables backing the allocation-free
+	// *Mask methods (the optimizer's hot path evaluates thousands of
+	// candidate plans per query, and per-evaluation map-set allocation
+	// dominated its profile). Guarded by maskOnce: Queries are shared
+	// read-only across optimizer workers.
+	maskOnce  sync.Once
+	relMasks  map[string]uint64
+	predMasks []predMask
+}
+
+type predMask struct {
+	a, b uint64
+	sel  float64
 }
 
 // Validate checks that predicates reference declared relations and that
@@ -91,6 +108,60 @@ func (q *Query) JoinSelectivity(a, b map[string]bool) float64 {
 	sel := 1.0
 	for _, p := range q.CrossingPreds(a, b) {
 		sel *= p.Selectivity
+	}
+	return sel
+}
+
+// MaskSupported reports whether the bitmask fast path is available: it
+// represents relation sets as single uint64 words, so queries over more
+// than 64 relations must use the map-based methods above.
+func (q *Query) MaskSupported() bool { return len(q.Relations) <= 64 }
+
+func (q *Query) initMasks() {
+	q.maskOnce.Do(func() {
+		q.relMasks = make(map[string]uint64, len(q.Relations))
+		for i, r := range q.Relations {
+			q.relMasks[r] = 1 << uint(i)
+		}
+		q.predMasks = make([]predMask, 0, len(q.Preds))
+		for _, p := range q.Preds {
+			q.predMasks = append(q.predMasks, predMask{
+				a: q.relMasks[p.A], b: q.relMasks[p.B], sel: p.Selectivity,
+			})
+		}
+	})
+}
+
+// RelMask returns the single-bit mask of a base relation, or 0 when the
+// relation is unknown or the query is too wide for masks.
+func (q *Query) RelMask(name string) uint64 {
+	if !q.MaskSupported() {
+		return 0
+	}
+	q.initMasks()
+	return q.relMasks[name]
+}
+
+// ConnectedMask is Connected over relation bitmasks; it allocates nothing.
+func (q *Query) ConnectedMask(a, b uint64) bool {
+	q.initMasks()
+	for _, p := range q.predMasks {
+		if (a&p.a != 0 && b&p.b != 0) || (a&p.b != 0 && b&p.a != 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// JoinSelectivityMask is JoinSelectivity over relation bitmasks; it
+// allocates nothing.
+func (q *Query) JoinSelectivityMask(a, b uint64) float64 {
+	q.initMasks()
+	sel := 1.0
+	for _, p := range q.predMasks {
+		if (a&p.a != 0 && b&p.b != 0) || (a&p.b != 0 && b&p.a != 0) {
+			sel *= p.sel
+		}
 	}
 	return sel
 }

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Snapshot the optimizer benchmark suite into BENCH_opt.json.
+#
+# Runs the opt micro-benchmarks (random plan construction, one inner-loop
+# search step, a full 10-way optimization) plus the two end-to-end figure
+# benchmarks the performance work targets, and pipes the output through
+# cmd/benchsnap to record ns/op, B/op, and allocs/op as JSON alongside the
+# machine's Go version and CPU budget.
+#
+# Usage: scripts/bench_opt.sh  (from the repo root; writes BENCH_opt.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+{
+	go test ./internal/opt/ -run '^$' \
+		-bench 'BenchmarkRandomPlan|BenchmarkNeighborEvaluate|BenchmarkOptimize10Way' \
+		-benchmem
+	go test . -run '^$' \
+		-bench 'BenchmarkFig4$|BenchmarkOptimizer10Way$' \
+		-benchmem -benchtime 3x
+} | go run ./cmd/benchsnap >BENCH_opt.json
+
+echo "wrote BENCH_opt.json"

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Full verification: tier-1 (build + tests) plus vet and the race detector.
+#
+# The race tier matters here because the optimizer and the experiment
+# harness both run on worker pools; `go test -race` exercises the parallel
+# II descents, the figure grids, and the determinism regression tests
+# (which flip GOMAXPROCS between 1 and 8) under the race detector.
+#
+# Usage: scripts/verify.sh  (from anywhere inside the repo)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+echo "== go test ./..."
+go test ./...
+echo "== go vet ./..."
+go vet ./...
+echo "== go test -race ./..."
+go test -race ./...
+echo "verify: OK"
