@@ -1,13 +1,18 @@
 // Command benchsnap turns `go test -bench -benchmem` output on stdin into a
 // machine-readable JSON snapshot, annotated with the Go version and CPU
-// budget of the machine that produced it. scripts/bench_opt.sh pipes the
-// optimizer benchmark suite through it to produce BENCH_opt.json, the
-// committed performance record this repo tracks across changes.
+// budget of the machine that produced it. scripts/bench_opt.sh and
+// scripts/bench_exec.sh pipe their benchmark suites through it to produce
+// BENCH_opt.json and BENCH_exec.json, the committed performance records
+// this repo tracks across changes.
+//
+// With -o FILE the snapshot is written to FILE instead of stdout, so a
+// script can keep stdout for the echoed benchmark stream.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
@@ -77,6 +82,8 @@ func parseLine(line string) (Result, bool) {
 }
 
 func main() {
+	out := flag.String("o", "", "write the JSON snapshot to this file instead of stdout")
+	flag.Parse()
 	snap := Snapshot{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -100,7 +107,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchsnap: no benchmark lines on stdin")
 		os.Exit(1)
 	}
-	enc := json.NewEncoder(os.Stdout)
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap: create:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dst = f
+	}
+	enc := json.NewEncoder(dst)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(snap); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsnap: encode:", err)

@@ -72,6 +72,7 @@ const (
 type request struct {
 	kind   opKind
 	page   PageAddr
+	pages  int // contiguous run length; 1 for ordinary requests
 	cyl    int
 	waiter *sim.Proc
 	done   bool
@@ -143,17 +144,32 @@ func (d *Disk) Utilization() float64 {
 }
 
 // Read performs a blocking read of one page.
-func (d *Disk) Read(p *sim.Proc, page PageAddr) { d.submit(p, opRead, page) }
+func (d *Disk) Read(p *sim.Proc, page PageAddr) { d.submit(p, opRead, page, 1) }
 
 // Write performs a blocking write of one page.
-func (d *Disk) Write(p *sim.Proc, page PageAddr) { d.submit(p, opWrite, page) }
+func (d *Disk) Write(p *sim.Proc, page PageAddr) { d.submit(p, opWrite, page, 1) }
 
-func (d *Disk) submit(p *sim.Proc, kind opKind, page PageAddr) {
-	if page < 0 || page >= d.params.Capacity() {
-		panic(fmt.Sprintf("disk %s: page %d out of range [0,%d)", d.name, page, d.params.Capacity()))
+// ReadRun performs a blocking scatter-gather read of n contiguous pages as a
+// single request. The service process applies the same per-page mechanics
+// (controller overhead, cache hits, read-ahead) as n back-to-back single
+// reads, so the virtual service time of an uncontended run is identical —
+// only the queueing granularity (one elevator entry, one waiter handshake)
+// is coarser.
+func (d *Disk) ReadRun(p *sim.Proc, page PageAddr, n int) { d.submit(p, opRead, page, n) }
+
+// WriteRun performs a blocking scatter-gather write of n contiguous pages as
+// a single request, with per-page write mechanics.
+func (d *Disk) WriteRun(p *sim.Proc, page PageAddr, n int) { d.submit(p, opWrite, page, n) }
+
+func (d *Disk) submit(p *sim.Proc, kind opKind, page PageAddr, n int) {
+	if n < 1 {
+		panic(fmt.Sprintf("disk %s: empty run", d.name))
+	}
+	if page < 0 || page+PageAddr(n) > d.params.Capacity() {
+		panic(fmt.Sprintf("disk %s: run [%d,%d) out of range [0,%d)", d.name, page, page+PageAddr(n), d.params.Capacity()))
 	}
 	d.seq++
-	r := &request{kind: kind, page: page, cyl: d.cylOf(page), waiter: p, seq: d.seq}
+	r := &request{kind: kind, page: page, pages: n, cyl: d.cylOf(page), waiter: p, seq: d.seq}
 	d.queue = append(d.queue, r)
 	if d.idle {
 		d.idle = false
@@ -208,13 +224,19 @@ func (d *Disk) serve(p *sim.Proc) {
 		}
 		r := d.pickElevator()
 		start := d.sim.Now()
-		switch r.kind {
-		case opRead:
-			d.stats.Reads++
-			d.serviceRead(p, r)
-		case opWrite:
-			d.stats.Writes++
-			d.serviceWrite(p, r)
+		// A run request is serviced page by page with exactly the mechanics
+		// of that many back-to-back single-page requests; stats count pages,
+		// so per-page and batched submission report the same totals.
+		for i := 0; i < r.pages; i++ {
+			pg := r.page + PageAddr(i)
+			switch r.kind {
+			case opRead:
+				d.stats.Reads++
+				d.serviceRead(p, pg, d.cylOf(pg))
+			case opWrite:
+				d.stats.Writes++
+				d.serviceWrite(p, pg, d.cylOf(pg))
+			}
 		}
 		d.stats.BusyTime += d.sim.Now() - start
 		r.done = true
@@ -289,49 +311,49 @@ func (d *Disk) transfer(p *sim.Proc, start PageAddr, pages int) {
 	d.lastEnd = start + PageAddr(pages)
 }
 
-func (d *Disk) serviceRead(p *sim.Proc, r *request) {
+func (d *Disk) serviceRead(p *sim.Proc, page PageAddr, cyl int) {
 	p.Hold(d.params.CtrlOverhead)
-	sequential := r.page == d.lastRead+1
-	d.lastRead = r.page
-	if d.cache[r.page] || d.dirty[r.page] {
+	sequential := page == d.lastRead+1
+	d.lastRead = page
+	if d.cache[page] || d.dirty[page] {
 		d.stats.CacheHits++
 		p.Hold(d.params.CtrlHitTime)
 		return
 	}
-	d.seekTo(p, r.cyl)
-	d.rotateTo(p, r.page)
+	d.seekTo(p, cyl)
+	d.rotateTo(p, page)
 	// Read-ahead triggers only on a detected sequential pattern, as in real
 	// controllers: the rest of the track (up to the read-ahead limit) is
 	// transferred into the controller cache along with the requested page.
 	ahead := 0
 	if sequential {
-		ahead = d.params.PagesPerTrack - 1 - d.sectorOf(r.page)
+		ahead = d.params.PagesPerTrack - 1 - d.sectorOf(page)
 		if ahead > d.params.ReadAheadPages {
 			ahead = d.params.ReadAheadPages
 		}
 	}
-	d.transfer(p, r.page, 1+ahead)
+	d.transfer(p, page, 1+ahead)
 	for i := 1; i <= ahead; i++ {
-		d.cacheInsert(r.page + PageAddr(i))
+		d.cacheInsert(page + PageAddr(i))
 	}
 }
 
-func (d *Disk) serviceWrite(p *sim.Proc, r *request) {
+func (d *Disk) serviceWrite(p *sim.Proc, page PageAddr, cyl int) {
 	p.Hold(d.params.CtrlOverhead)
-	delete(d.cache, r.page) // the write-back copy supersedes any prefetch
+	delete(d.cache, page) // the write-back copy supersedes any prefetch
 	if d.params.WriteCachePages <= 0 {
 		// Write-through: pay the full mechanical access now.
-		d.seekTo(p, r.cyl)
-		d.rotateTo(p, r.page)
-		d.transfer(p, r.page, 1)
+		d.seekTo(p, cyl)
+		d.rotateTo(p, page)
+		d.transfer(p, page, 1)
 		return
 	}
 	// Write-back: absorb the write into the controller cache, paying a
 	// destage first if the cache is full.
-	if len(d.dirty) >= d.params.WriteCachePages && !d.dirty[r.page] {
+	if len(d.dirty) >= d.params.WriteCachePages && !d.dirty[page] {
 		d.destageOne(p)
 	}
-	d.dirty[r.page] = true
+	d.dirty[page] = true
 	p.Hold(d.params.CtrlHitTime)
 }
 

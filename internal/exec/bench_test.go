@@ -1,0 +1,59 @@
+package exec
+
+import (
+	"testing"
+
+	"hybridship/internal/catalog"
+	"hybridship/internal/plan"
+	"hybridship/internal/workload"
+)
+
+// benchRun measures wall-clock time per complete Run of one query.
+func benchRun(b *testing.B, cfg Config, root *plan.Node) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, root); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRun10WayQS is the reference full-query benchmark of this PR: the
+// moderate 10-way chain over 4 servers under query shipping, max allocation.
+func BenchmarkRun10WayQS(b *testing.B) {
+	cfg := chainConfig(b, 10, 4, workload.Moderate, true)
+	benchRun(b, cfg, annotate(leftDeepChain(10), plan.QueryShipping))
+}
+
+// BenchmarkRun10WayQSLoaded adds an external server load, exercising the
+// pooled load-generator daemons and the contended (slow-path) kernel.
+func BenchmarkRun10WayQSLoaded(b *testing.B) {
+	cfg := chainConfig(b, 10, 4, workload.Moderate, true)
+	cfg.ServerLoad = map[catalog.SiteID]float64{0: 40}
+	benchRun(b, cfg, annotate(leftDeepChain(10), plan.QueryShipping))
+}
+
+// BenchmarkRun10WayDS ships every page to the client through the page-server
+// daemons: the network- and pager-heavy variant.
+func BenchmarkRun10WayDS(b *testing.B) {
+	cfg := chainConfig(b, 10, 4, workload.Moderate, true)
+	benchRun(b, cfg, annotate(leftDeepChain(10), plan.DataShipping))
+}
+
+// BenchmarkRunSpill runs the minimum-allocation 10-way chain, where every
+// join spills partitions to temp disk — the workload the scatter-gather
+// write/read-back batching targets.
+func BenchmarkRunSpill(b *testing.B) {
+	cfg := chainConfig(b, 10, 4, workload.Moderate, false)
+	benchRun(b, cfg, annotate(leftDeepChain(10), plan.QueryShipping))
+}
+
+// BenchmarkRunSpillBatched is BenchmarkRunSpill with 8-page scatter-gather
+// batching enabled (an opt-in mode; the default stays page-at-a-time).
+func BenchmarkRunSpillBatched(b *testing.B) {
+	cfg := chainConfig(b, 10, 4, workload.Moderate, false)
+	cfg.Params.BatchPages = 8
+	benchRun(b, cfg, annotate(leftDeepChain(10), plan.QueryShipping))
+}

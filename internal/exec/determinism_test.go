@@ -1,0 +1,119 @@
+package exec
+
+import (
+	"reflect"
+	"testing"
+
+	"hybridship/internal/catalog"
+	"hybridship/internal/plan"
+	"hybridship/internal/sim"
+	"hybridship/internal/workload"
+)
+
+// TestRunFullyDeterministic runs the same configuration repeatedly and
+// requires the complete Result — including per-site disk stats and network
+// stats — to be identical down to the last counter. This is the regression
+// net under the kernel fast path and the pooled process machinery: any
+// schedule perturbation shows up as a diverged counter.
+func TestRunFullyDeterministic(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func() Result
+	}{
+		{"qs-minalloc-loaded", func() Result {
+			cfg := chainConfig(t, 6, 2, workload.Moderate, false)
+			cfg.ServerLoad = map[catalog.SiteID]float64{0: 40, 1: 60}
+			res, err := Run(cfg, annotate(leftDeepChain(6), plan.QueryShipping))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}},
+		{"ds-maxalloc", func() Result {
+			cfg := chainConfig(t, 4, 2, workload.Moderate, true)
+			res, err := Run(cfg, annotate(leftDeepChain(4), plan.DataShipping))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}},
+		{"qs-batched", func() Result {
+			cfg := chainConfig(t, 6, 2, workload.Moderate, false)
+			cfg.Params.BatchPages = 8
+			res, err := Run(cfg, annotate(leftDeepChain(6), plan.QueryShipping))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := tc.run()
+			for i := 0; i < 3; i++ {
+				if got := tc.run(); !reflect.DeepEqual(got, ref) {
+					t.Fatalf("run %d diverged:\n got %+v\nwant %+v", i+1, got, ref)
+				}
+			}
+		})
+	}
+}
+
+// TestFastPathMatchesReferenceKernel compares a query executed on the Hold
+// fast path against the same query forced through the reference
+// park/dispatch slow path (a no-op Trace disables the fast path). The
+// virtual-time outcome must be bit-identical: the fast path is an
+// implementation shortcut, not a semantic change.
+func TestFastPathMatchesReferenceKernel(t *testing.T) {
+	run := func(forceSlow bool) Result {
+		cfg := chainConfig(t, 6, 2, workload.Moderate, false)
+		cfg.ServerLoad = map[catalog.SiteID]float64{0: 40}
+		if forceSlow {
+			cfg.Trace = func(sim.Time, string) {}
+		}
+		res, err := Run(cfg, annotate(leftDeepChain(6), plan.QueryShipping))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fast, slow := run(false), run(true)
+	if !reflect.DeepEqual(fast, slow) {
+		t.Fatalf("fast path diverged from reference kernel:\nfast %+v\nslow %+v", fast, slow)
+	}
+}
+
+// TestBatchingPreservesLogicalOutcome checks the contract of opt-in
+// scatter-gather batching: every logical counter — result cardinality,
+// pages/messages on the wire, and per-site read/write counts — is invariant
+// under the run length. Timings may legitimately shift (a multi-page run
+// holds the arm in place, so batched runs seek less); BatchPages <= 1 must
+// reproduce the page-at-a-time default bit-exactly, timings included.
+func TestBatchingPreservesLogicalOutcome(t *testing.T) {
+	run := func(batch int) Result {
+		cfg := chainConfig(t, 6, 2, workload.Moderate, false)
+		cfg.Params.BatchPages = batch
+		res, err := Run(cfg, annotate(leftDeepChain(6), plan.QueryShipping))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(0)
+	if got := run(1); !reflect.DeepEqual(got, ref) {
+		t.Errorf("BatchPages=1 must be bit-identical to the default:\n got %+v\nwant %+v", got, ref)
+	}
+	for _, batch := range []int{4, 16} {
+		got := run(batch)
+		if got.ResultTuples != ref.ResultTuples || got.PagesSent != ref.PagesSent ||
+			got.Messages != ref.Messages || got.NetStats.Bytes != ref.NetStats.Bytes {
+			t.Errorf("BatchPages=%d changed traffic: got %+v want %+v", batch, got, ref)
+		}
+		for site, st := range ref.DiskStats {
+			if g := got.DiskStats[site]; g.Reads != st.Reads || g.Writes != st.Writes {
+				t.Errorf("BatchPages=%d changed site %v I/O counts: got %d/%d want %d/%d",
+					batch, site, g.Reads, g.Writes, st.Reads, st.Writes)
+			}
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"hybridship/internal/disk"
 	"hybridship/internal/netsim"
 	"hybridship/internal/query"
+	"hybridship/internal/seedmix"
 	"hybridship/internal/sim"
 )
 
@@ -44,6 +45,16 @@ type Params struct {
 	// consumer (default 1: "each producer has a process that tries to stay
 	// one page ahead", §3.2.1). Exposed for the pipelining ablation.
 	LookaheadPages int
+
+	// BatchPages, when > 1, lets the engine move contiguous page runs as
+	// single multi-page requests: sequential scans and partition spill I/O
+	// become scatter-gather disk runs, page-fault shipping fetches runs per
+	// control message, and network streams carry runs per message, with the
+	// per-page CPU charges of a run coalesced into one resource acquisition.
+	// 0 or 1 reproduces the paper's page-at-a-time engine exactly (the
+	// default); larger values trade micro-interleaving fidelity for O(1/N)
+	// kernel dispatches on scan-heavy plans.
+	BatchPages int
 
 	Disk disk.Params // physical disk model
 }
@@ -78,6 +89,14 @@ func (p Params) lookahead() int {
 	return p.LookaheadPages
 }
 
+// batch returns the I/O batching run length, defaulting to page-at-a-time.
+func (p Params) batch() int {
+	if p.BatchPages <= 1 {
+		return 1
+	}
+	return p.BatchPages
+}
+
 // msgCPUInstr is the endpoint CPU cost of one message of the given size.
 func (p Params) msgCPUInstr(bytes int) float64 {
 	return p.MsgInst + p.PerSizeMI*float64(bytes)/float64(p.PageSize)
@@ -109,6 +128,13 @@ type Config struct {
 
 	// Seed drives the external load arrival process.
 	Seed int64
+
+	// Trace, when set, receives every kernel dispatch (virtual time plus the
+	// dispatched process name). Setting it also disables the simulator's
+	// in-place Hold fast path, forcing the reference park/dispatch protocol —
+	// the hook the determinism regression tests use to prove the fast path
+	// leaves the event schedule unchanged.
+	Trace func(sim.Time, string)
 }
 
 // Result reports one simulated query execution.
@@ -152,6 +178,10 @@ type site struct {
 
 func (s *site) read(p *sim.Proc, a diskAddr)  { s.disks[a.dsk].Read(p, a.page) }
 func (s *site) write(p *sim.Proc, a diskAddr) { s.disks[a.dsk].Write(p, a.page) }
+
+// readRun and writeRun move n contiguous pages as one scatter-gather request.
+func (s *site) readRun(p *sim.Proc, a diskAddr, n int)  { s.disks[a.dsk].ReadRun(p, a.page, n) }
+func (s *site) writeRun(p *sim.Proc, a diskAddr, n int) { s.disks[a.dsk].WriteRun(p, a.page, n) }
 
 func (s *site) chargeCPU(p *sim.Proc, params Params, instr float64) {
 	if instr <= 0 {
@@ -228,6 +258,7 @@ func newEngine(cfg Config) (*engine, error) {
 		relIdx: make(map[string]int),
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 	}
+	e.sim.Trace = cfg.Trace
 	e.net = netsim.New(e.sim, cfg.Params.NetBw)
 	for i, r := range cfg.Query.Relations {
 		e.relIdx[r] = i
@@ -290,17 +321,32 @@ func newEngine(cfg Config) (*engine, error) {
 // reads against the site's disk.
 func (e *engine) spawnLoad(s *site, reqPerSec float64) {
 	capacity := int64(s.disks[0].Params().Capacity())
-	rng := rand.New(rand.NewSource(e.cfg.Seed ^ int64(s.id+1)*7919))
-	e.sim.SpawnDaemon(fmt.Sprintf("load:site%d", s.id), func(p *sim.Proc) {
+	rng := rand.New(rand.NewSource(loadSeed(e.cfg.Seed, s.id)))
+	e.sim.SpawnDaemonLazy(func() string { return fmt.Sprintf("load:site%d", s.id) }, func(p *sim.Proc) {
 		for i := 0; ; i++ {
 			p.Hold(rng.ExpFloat64() / reqPerSec)
 			target := diskAddr{dsk: rng.Intn(len(s.disks)), page: disk.PageAddr(rng.Int63n(capacity))}
-			// Each arrival is its own process so that a slow disk queues
-			// arrivals instead of throttling them (open-loop load).
-			e.sim.SpawnDaemon(fmt.Sprintf("load:site%d/%d", s.id, i), func(q *sim.Proc) {
+			// Each arrival runs as its own process so that a slow disk
+			// queues arrivals instead of throttling them (open-loop load).
+			// The kernel pools the goroutine/channel machinery of finished
+			// arrivals, and the name is only built if a trace asks for it.
+			i := i
+			e.sim.SpawnDaemonLazy(func() string { return fmt.Sprintf("load:site%d/%d", s.id, i) }, func(q *sim.Proc) {
 				s.chargeCPU(q, e.cfg.Params, e.cfg.Params.DiskInst)
 				s.read(q, target)
 			})
 		}
 	})
 }
+
+// loadSeed derives the per-site load-RNG stream from the run seed through
+// the repo-wide splitmix64 mixer, replacing the former ad-hoc
+// seed^(site+1)*7919 formula whose neighboring sites produced correlated
+// low bits. seedLoadGen tags the stream so other engine-level consumers of
+// Derive can never collide with it.
+func loadSeed(seed int64, site catalog.SiteID) int64 {
+	return seedmix.Derive(seed, seedLoadGen, int64(site))
+}
+
+// seedLoadGen is the stream tag of the external-load arrival processes.
+const seedLoadGen int64 = 101

@@ -42,8 +42,19 @@ type hhJoinOp struct {
 	phase    int // 0 = probing outer, 1 = spilled partition passes, 2 = done
 	partIdx  int
 	partPage int
+	outerWin int // outer partition pages read ahead but not yet probed
 	outBuf   []Tuple
 	outCount int64
+}
+
+// contiguousRun returns the length (capped at max) of the address-contiguous
+// run of pages starting at index i.
+func contiguousRun(addrs []diskAddr, i, max int) int {
+	run := 1
+	for run < max && i+run < len(addrs) && addrs[i+run] == addrs[i].plus(run) {
+		run++
+	}
+	return run
 }
 
 // partition is one spilled partition: the tuples grouped into pages, plus
@@ -59,16 +70,22 @@ type partition struct {
 	chunk   int      // extent chunk size, pages
 	next    diskAddr // next free page of the current chunk
 	left    int      // pages remaining in the current chunk
+	written int      // pages [0,written) are on disk; the rest await a run
+	batch   int      // spill run length (1 = write each page immediately)
 }
 
 func (pt *partition) add(e *engine, p *sim.Proc, s *site, t Tuple) {
 	pt.current = append(pt.current, t)
 	if len(pt.current) >= pt.tpp {
-		pt.flush(e, p, s)
+		pt.complete(e, p, s)
 	}
 }
 
-func (pt *partition) flush(e *engine, p *sim.Proc, s *site) {
+// complete seals the current page into the partition's temp extent and, once
+// a full run has accumulated, writes the pending pages as scatter-gather
+// runs. With batch == 1 every page is written the moment it fills, exactly
+// the paper-exact page-at-a-time behavior.
+func (pt *partition) complete(e *engine, p *sim.Proc, s *site) {
 	if len(pt.current) == 0 {
 		return
 	}
@@ -76,14 +93,36 @@ func (pt *partition) flush(e *engine, p *sim.Proc, s *site) {
 		pt.next = s.allocTemp(pt.chunk)
 		pt.left = pt.chunk
 	}
-	addr := pt.next
+	pt.pages = append(pt.pages, pt.current)
+	pt.addrs = append(pt.addrs, pt.next)
 	pt.next = pt.next.plus(1)
 	pt.left--
-	s.chargeCPU(p, e.cfg.Params, e.cfg.Params.DiskInst)
-	s.write(p, addr)
-	pt.pages = append(pt.pages, pt.current)
-	pt.addrs = append(pt.addrs, addr)
 	pt.current = nil
+	if len(pt.addrs)-pt.written >= pt.batch {
+		pt.drain(e, p, s)
+	}
+}
+
+// drain writes every completed-but-unwritten page, splitting the backlog
+// into address-contiguous runs (chunk boundaries break contiguity) with one
+// coalesced CPU charge and one disk request per run.
+func (pt *partition) drain(e *engine, p *sim.Proc, s *site) {
+	for pt.written < len(pt.addrs) {
+		start := pt.written
+		run := 1
+		for start+run < len(pt.addrs) && pt.addrs[start+run] == pt.addrs[start].plus(run) {
+			run++
+		}
+		s.chargeCPU(p, e.cfg.Params, e.cfg.Params.DiskInst*float64(run))
+		s.writeRun(p, pt.addrs[start], run)
+		pt.written += run
+	}
+}
+
+// flush seals any partial page and forces out the pending writes.
+func (pt *partition) flush(e *engine, p *sim.Proc, s *site) {
+	pt.complete(e, p, s)
+	pt.drain(e, p, s)
 }
 
 func (e *engine) newHHJoin(at catalog.SiteID, inner, outer iterator,
@@ -155,8 +194,8 @@ func (j *hhJoinOp) open(p *sim.Proc) {
 
 	j.table = make(map[uint64][]Tuple)
 	for i := 0; i < j.nParts; i++ {
-		j.innerParts = append(j.innerParts, &partition{tpp: j.tpp, chunk: j.chunkPages})
-		j.outerParts = append(j.outerParts, &partition{tpp: j.tpp, chunk: j.chunkPages})
+		j.innerParts = append(j.innerParts, &partition{tpp: j.tpp, chunk: j.chunkPages, batch: params.batch()})
+		j.outerParts = append(j.outerParts, &partition{tpp: j.tpp, chunk: j.chunkPages, batch: params.batch()})
 	}
 
 	// Build phase: consume the inner completely.
@@ -239,20 +278,30 @@ func (j *hhJoinOp) next(p *sim.Proc) (page, bool) {
 				}
 				j.table = make(map[uint64][]Tuple)
 				in := j.innerParts[j.partIdx]
-				for pi, tuples := range in.pages {
-					j.atSite.chargeCPU(p, params, params.DiskInst)
-					j.atSite.read(p, in.addrs[pi])
-					j.atSite.chargeCPU(p, params, params.HashInst*float64(len(tuples)))
-					for _, t := range tuples {
-						j.table[j.bkey.key(t)] = append(j.table[j.bkey.key(t)], t)
+				for pi := 0; pi < len(in.pages); {
+					run := contiguousRun(in.addrs, pi, params.batch())
+					j.atSite.chargeCPU(p, params, params.DiskInst*float64(run))
+					j.atSite.readRun(p, in.addrs[pi], run)
+					for k := 0; k < run; k++ {
+						tuples := in.pages[pi+k]
+						j.atSite.chargeCPU(p, params, params.HashInst*float64(len(tuples)))
+						for _, t := range tuples {
+							j.table[j.bkey.key(t)] = append(j.table[j.bkey.key(t)], t)
+						}
 					}
+					pi += run
 				}
 				continue
 			}
 			out := j.outerParts[j.partIdx]
 			tuples := out.pages[j.partPage]
-			j.atSite.chargeCPU(p, params, params.DiskInst)
-			j.atSite.read(p, out.addrs[j.partPage])
+			if j.outerWin == 0 {
+				run := contiguousRun(out.addrs, j.partPage, params.batch())
+				j.atSite.chargeCPU(p, params, params.DiskInst*float64(run))
+				j.atSite.readRun(p, out.addrs[j.partPage], run)
+				j.outerWin = run
+			}
+			j.outerWin--
 			j.partPage++
 			j.atSite.chargeCPU(p, params, params.HashInst*float64(len(tuples)))
 			for _, t := range tuples {

@@ -19,7 +19,9 @@ type iterator interface {
 // scanOp produces all tuples of a base relation (§2.1). At the primary copy
 // it reads the relation's extent sequentially from the local disk. At the
 // client it reads the cached prefix from the client disk and faults the
-// remaining pages in from the home server, one page at a time.
+// remaining pages in from the home server. With BatchPages > 1 the scan
+// moves runs of contiguous pages per disk request (and per page-fault round
+// trip) and coalesces the run's CPU charges; the default is page at a time.
 type scanOp struct {
 	e      *engine
 	rel    string
@@ -32,6 +34,9 @@ type scanOp struct {
 	nextID      int64
 	tuples      int64
 	home        *site
+
+	window int         // pages already paid for (I/O and CPU) but not yet emitted
+	reply  *sim.Buffer // reusable page-fault reply channel
 }
 
 func (e *engine) newScan(rel string, at catalog.SiteID) *scanOp {
@@ -58,33 +63,54 @@ func (e *engine) newScan(rel string, at catalog.SiteID) *scanOp {
 func (s *scanOp) open(p *sim.Proc) {
 	s.nextPage = 0
 	s.nextID = 0
+	s.window = 0
+}
+
+// fill pays the I/O and CPU for the next run of pages, leaving them in the
+// window for materialization. A run never crosses the boundary between the
+// cached prefix and the faulted remainder, so each run uses one transport.
+func (s *scanOp) fill(p *sim.Proc) {
+	params := s.e.cfg.Params
+	pg := s.nextPage
+	n := params.batch()
+	if rem := s.relPages - pg; n > rem {
+		n = rem
+	}
+	switch {
+	case s.atSite.id != catalog.Client:
+		// Primary-copy scan: sequential read of the relation extent.
+		s.atSite.chargeCPU(p, params, params.DiskInst*float64(n))
+		s.atSite.readRun(p, s.atSite.extents[s.rel].plus(pg), n)
+	case pg < s.cachedPages:
+		// Cached prefix on the client disk.
+		if rem := s.cachedPages - pg; n > rem {
+			n = rem
+		}
+		s.atSite.chargeCPU(p, params, params.DiskInst*float64(n))
+		s.atSite.readRun(p, s.atSite.extents[s.rel].plus(pg), n)
+	default:
+		// Page fault: synchronous request/response with the home server.
+		// The paper notes DS pays for the lack of overlap here (§4.2.3).
+		if s.reply == nil {
+			s.reply = sim.NewBuffer(s.e.sim, "fault-reply", 1)
+		}
+		s.atSite.chargeCPU(p, params, params.msgCPUInstr(ctrlMsgBytes))
+		s.e.net.Transmit(p, ctrlMsgBytes, false)
+		s.home.pager.fetchRun(p, s.home.extents[s.rel].plus(pg), n, s.reply)
+		s.atSite.chargeCPU(p, params, params.msgCPUInstr(n*params.PageSize))
+	}
+	s.window = n
 }
 
 func (s *scanOp) next(p *sim.Proc) (page, bool) {
 	if s.nextPage >= s.relPages {
 		return page{}, false
 	}
-	params := s.e.cfg.Params
-	pg := s.nextPage
-	s.nextPage++
-
-	switch {
-	case s.atSite.id != catalog.Client:
-		// Primary-copy scan: sequential read of the relation extent.
-		s.atSite.chargeCPU(p, params, params.DiskInst)
-		s.atSite.read(p, s.atSite.extents[s.rel].plus(pg))
-	case pg < s.cachedPages:
-		// Cached prefix on the client disk.
-		s.atSite.chargeCPU(p, params, params.DiskInst)
-		s.atSite.read(p, s.atSite.extents[s.rel].plus(pg))
-	default:
-		// Page fault: synchronous request/response with the home server.
-		// The paper notes DS pays for the lack of overlap here (§4.2.3).
-		s.atSite.chargeCPU(p, params, params.msgCPUInstr(ctrlMsgBytes))
-		s.e.net.Transmit(p, ctrlMsgBytes, false)
-		s.home.pager.fetch(p, s.home.extents[s.rel].plus(pg))
-		s.atSite.chargeCPU(p, params, params.msgCPUInstr(params.PageSize))
+	if s.window == 0 {
+		s.fill(p)
 	}
+	s.window--
+	s.nextPage++
 
 	// Materialize the page's tuples.
 	n := s.tpp
@@ -286,13 +312,18 @@ func (d *displayOp) run(p *sim.Proc) {
 // netPair decouples a producer fragment from its consumer across the
 // network. The producer runs as its own process that stays one page ahead of
 // the consumer (§3.2.1), giving pipelined parallelism; the consumer side is
-// an ordinary iterator.
+// an ordinary iterator. With BatchPages > 1 the producer groups pages into
+// runs shipped as one scatter-gather message each (the lookahead buffer then
+// counts runs, not pages).
 type netPair struct {
 	e        *engine
 	from, to *site
 	child    iterator
 	buf      *sim.Buffer
 	started  bool
+
+	pending []page // unpacked remainder of the last received run
+	pos     int
 }
 
 func (e *engine) newNetPair(child iterator, from, to catalog.SiteID) *netPair {
@@ -304,18 +335,37 @@ func (n *netPair) open(p *sim.Proc) {
 		return
 	}
 	n.started = true
-	n.buf = sim.NewBuffer(n.e.sim, fmt.Sprintf("net:%d->%d", n.from.id, n.to.id), n.e.cfg.Params.lookahead())
+	n.buf = sim.NewBuffer(n.e.sim, "net", n.e.cfg.Params.lookahead())
 	params := n.e.cfg.Params
-	n.e.sim.SpawnDaemon(fmt.Sprintf("send:%d->%d", n.from.id, n.to.id), func(pp *sim.Proc) {
+	n.e.sim.SpawnDaemonLazy(func() string { return fmt.Sprintf("send:%d->%d", n.from.id, n.to.id) }, func(pp *sim.Proc) {
 		n.child.open(pp)
+		batch := params.batch()
+		var run []page
+		send := func() {
+			n.from.chargeCPU(pp, params, params.msgCPUInstr(len(run)*params.PageSize))
+			n.e.net.TransmitPages(pp, params.PageSize, len(run))
+			n.buf.Put(pp, run)
+			run = nil
+		}
 		for {
 			pg, ok := n.child.next(pp)
 			if !ok {
 				break
 			}
-			n.from.chargeCPU(pp, params, params.msgCPUInstr(params.PageSize))
-			n.e.net.Transmit(pp, params.PageSize, true)
-			n.buf.Put(pp, pg)
+			if batch == 1 {
+				// Paper-exact page-at-a-time stream.
+				n.from.chargeCPU(pp, params, params.msgCPUInstr(params.PageSize))
+				n.e.net.Transmit(pp, params.PageSize, true)
+				n.buf.Put(pp, pg)
+				continue
+			}
+			run = append(run, pg)
+			if len(run) >= batch {
+				send()
+			}
+		}
+		if len(run) > 0 {
+			send()
 		}
 		n.child.close(pp)
 		n.buf.Close()
@@ -323,12 +373,26 @@ func (n *netPair) open(p *sim.Proc) {
 }
 
 func (n *netPair) next(p *sim.Proc) (page, bool) {
+	if n.pos < len(n.pending) {
+		pg := n.pending[n.pos]
+		n.pos++
+		return pg, true
+	}
 	v, ok := n.buf.Get(p)
 	if !ok {
 		return page{}, false
 	}
-	n.to.chargeCPU(p, n.e.cfg.Params, n.e.cfg.Params.msgCPUInstr(n.e.cfg.Params.PageSize))
-	return v.(page), true
+	params := n.e.cfg.Params
+	switch t := v.(type) {
+	case page:
+		n.to.chargeCPU(p, params, params.msgCPUInstr(params.PageSize))
+		return t, true
+	default:
+		run := t.([]page)
+		n.to.chargeCPU(p, params, params.msgCPUInstr(len(run)*params.PageSize))
+		n.pending, n.pos = run, 1
+		return run[0], true
+	}
 }
 
 func (n *netPair) close(p *sim.Proc) {}
@@ -344,12 +408,13 @@ type pageServer struct {
 
 type pageReq struct {
 	addr  diskAddr
+	pages int
 	reply *sim.Buffer
 }
 
 func newPageServer(e *engine, s *site) *pageServer {
-	ps := &pageServer{e: e, s: s, reqs: sim.NewBuffer(e.sim, fmt.Sprintf("pager:%d", s.id), 1024)}
-	e.sim.SpawnDaemon(fmt.Sprintf("pager:site%d", s.id), func(p *sim.Proc) {
+	ps := &pageServer{e: e, s: s, reqs: sim.NewBuffer(e.sim, "pager", 1024)}
+	e.sim.SpawnDaemonLazy(func() string { return fmt.Sprintf("pager:site%d", s.id) }, func(p *sim.Proc) {
 		params := e.cfg.Params
 		for {
 			v, ok := ps.reqs.Get(p)
@@ -358,19 +423,19 @@ func newPageServer(e *engine, s *site) *pageServer {
 			}
 			r := v.(pageReq)
 			ps.s.chargeCPU(p, params, params.msgCPUInstr(ctrlMsgBytes)) // receive request
-			ps.s.chargeCPU(p, params, params.DiskInst)
-			ps.s.read(p, r.addr)
-			ps.s.chargeCPU(p, params, params.msgCPUInstr(params.PageSize)) // send page
-			e.net.Transmit(p, params.PageSize, true)
+			ps.s.chargeCPU(p, params, params.DiskInst*float64(r.pages))
+			ps.s.readRun(p, r.addr, r.pages)
+			ps.s.chargeCPU(p, params, params.msgCPUInstr(r.pages*params.PageSize)) // send pages
+			e.net.TransmitPages(p, params.PageSize, r.pages)
 			r.reply.Put(p, struct{}{})
 		}
 	})
 	return ps
 }
 
-// fetch performs one synchronous page fault on behalf of the caller.
-func (ps *pageServer) fetch(p *sim.Proc, addr diskAddr) {
-	reply := sim.NewBuffer(ps.e.sim, "fault-reply", 1)
-	ps.reqs.Put(p, pageReq{addr: addr, reply: reply})
+// fetchRun performs one synchronous fault of n contiguous pages on behalf of
+// the caller, signalling completion through the caller-owned reply buffer.
+func (ps *pageServer) fetchRun(p *sim.Proc, addr diskAddr, n int, reply *sim.Buffer) {
+	ps.reqs.Put(p, pageReq{addr: addr, pages: n, reply: reply})
 	reply.Get(p)
 }

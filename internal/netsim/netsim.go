@@ -50,6 +50,23 @@ func (n *Network) Transmit(p *sim.Proc, bytes int, isDataPage bool) {
 	n.link.Use(p, t)
 }
 
+// TransmitPages occupies the link for a scatter-gather run of count data
+// pages of pageBytes each, sent back to back as one link occupancy. The
+// traffic counters still record count messages and count data pages, so the
+// paper's "pages sent" metric is independent of the batching granularity;
+// only the number of kernel-level link acquisitions shrinks.
+func (n *Network) TransmitPages(p *sim.Proc, pageBytes, count int) {
+	if count <= 0 {
+		return
+	}
+	t := n.TransferTime(pageBytes) * float64(count)
+	n.stats.Messages += int64(count)
+	n.stats.Bytes += int64(pageBytes) * int64(count)
+	n.stats.WireTime += t
+	n.stats.DataPages += int64(count)
+	n.link.Use(p, t)
+}
+
 // Stats returns a copy of the traffic counters.
 func (n *Network) Stats() Stats { return n.stats }
 

@@ -7,6 +7,7 @@ import (
 	"hybridship/internal/catalog"
 	"hybridship/internal/cost"
 	"hybridship/internal/plan"
+	"hybridship/internal/seedmix"
 )
 
 // Seed-derivation phase tags: every II start, the SA chain, and
@@ -17,19 +18,12 @@ const (
 	seedPhaseFrom
 )
 
-// deriveSeed mixes the user seed with phase/start coordinates through a
-// splitmix64-style finalizer, so concurrent searches get decorrelated
-// streams whose contents do not depend on scheduling or worker count.
+// deriveSeed mixes the user seed with phase/start coordinates, so concurrent
+// searches get decorrelated streams whose contents do not depend on
+// scheduling or worker count. The mixing itself lives in internal/seedmix,
+// shared with the execution engine's load generators.
 func deriveSeed(base int64, parts ...int64) int64 {
-	h := uint64(base) ^ 0x9e3779b97f4a7c15
-	for _, p := range parts {
-		h ^= uint64(p)
-		h *= 0xbf58476d1ce4e5b9
-		h ^= h >> 27
-		h *= 0x94d049bb133111eb
-		h ^= h >> 31
-	}
-	return int64(h & 0x7fffffffffffffff)
+	return seedmix.Derive(base, parts...)
 }
 
 // memoMax bounds the per-search estimate memo; when full it is reset

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkHoldFastPath measures one simulated event on the in-place Hold
+// fast path: the running process advances the clock without touching the
+// event queue or parking. This is the steady-state cost of an uncontended
+// Hold (CPU charges, disk service legs) after this PR.
+func BenchmarkHoldFastPath(b *testing.B) {
+	s := New()
+	s.Spawn("bench", func(p *Proc) {
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.Hold(1e-9)
+		}
+		b.StopTimer()
+	})
+	s.Run()
+}
+
+// BenchmarkHoldDispatch measures one simulated event through the full
+// park/dispatch round-trip (heap push, kernel pop, channel handshake). Trace
+// is set to a no-op to force the reference slow path, so this is also the
+// per-event cost of the pre-fast-path kernel minus its container/heap
+// boxing.
+func BenchmarkHoldDispatch(b *testing.B) {
+	s := New()
+	s.Trace = func(Time, string) {}
+	s.Spawn("bench", func(p *Proc) {
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.Hold(1e-9)
+		}
+		b.StopTimer()
+	})
+	s.Run()
+}
+
+// BenchmarkPingPong measures two processes alternating through a shared
+// resource-free rendezvous: every Hold has a pending equal-or-earlier event,
+// so each iteration is two genuine kernel dispatches plus heap traffic.
+func BenchmarkPingPong(b *testing.B) {
+	s := New()
+	spawn := func(name string) {
+		s.Spawn(name, func(p *Proc) {
+			for i := 0; i < b.N; i++ {
+				p.Hold(1e-6)
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	spawn("a")
+	spawn("b")
+	s.Run()
+}
+
+// BenchmarkSpawnShortLived measures the lifecycle of a short-lived process:
+// after the first few iterations every spawn reuses a pooled goroutine and
+// wake channel, and the lazy name is never built.
+func BenchmarkSpawnShortLived(b *testing.B) {
+	s := New()
+	s.Spawn("driver", func(p *Proc) {
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			i := i
+			s.SpawnLazy(func() string { return fmt.Sprintf("short/%d", i) }, func(q *Proc) {})
+			p.Hold(1e-9) // let the spawned process run and return to the pool
+		}
+		b.StopTimer()
+	})
+	s.Run()
+}
+
+// BenchmarkResourceUse measures charging one uncontended resource: acquire,
+// hold (fast path), release.
+func BenchmarkResourceUse(b *testing.B) {
+	s := New()
+	r := NewResource(s, "cpu", 1)
+	s.Spawn("bench", func(p *Proc) {
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.Use(p, 1e-9)
+		}
+		b.StopTimer()
+	})
+	s.Run()
+}
+
+// BenchmarkEventHeap measures raw push/pop traffic on the value-typed event
+// heap at a realistic queue depth.
+func BenchmarkEventHeap(b *testing.B) {
+	var h eventHeap
+	procs := make([]*Proc, 64)
+	for i := range procs {
+		procs[i] = &Proc{}
+	}
+	for i := 0; i < 64; i++ {
+		h.push(event{at: float64(i%7) * 0.001, seq: int64(i), proc: procs[i]})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := h.pop()
+		e.at += 0.01
+		e.seq = int64(64 + i)
+		h.push(e)
+	}
+}

@@ -8,10 +8,16 @@
 // a process executes until it parks (holds, blocks, or finishes), then the
 // kernel resumes the process with the earliest pending event. Events with
 // equal timestamps fire in schedule order, so a run is fully deterministic.
+//
+// The kernel is built for throughput: the event queue is a value-typed
+// binary heap (no container/heap interface boxing), a process holding to a
+// time before any pending event advances the clock in place without a
+// park/dispatch round-trip, goroutines and wake channels of finished
+// processes are pooled for reuse, and process names can be built lazily so
+// their fmt.Sprintf cost is only paid when Trace is enabled.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -29,10 +35,13 @@ type Simulator struct {
 	parked  chan struct{} // signalled by a process when it parks or exits
 	running int           // live (spawned, not finished) non-daemon processes
 	daemons []*Proc       // live daemon processes (terminated when Run drains)
+	free    []*Proc       // finished processes whose goroutines await reuse
 	failure any           // panic value captured from a process goroutine
 
 	// Trace, when non-nil, receives a line per kernel dispatch. Intended for
-	// debugging tests only.
+	// debugging tests only. Setting Trace disables the in-place Hold fast
+	// path, so the trace records every dispatch the reference kernel would
+	// make; the schedule itself is identical either way.
 	Trace func(t Time, proc string)
 }
 
@@ -44,30 +53,74 @@ func New() *Simulator {
 // Now returns the current virtual time.
 func (s *Simulator) Now() Time { return s.now }
 
+// event is one pending wakeup. gen guards against stale events delivered to
+// a pooled Proc that has since been reused for a new process.
 type event struct {
 	at   Time
 	seq  int64
 	proc *Proc
+	gen  uint32
 }
 
+// eventHeap is a value-typed binary min-heap ordered by (at, seq). Push and
+// pop sift values directly, so steady-state queue operation allocates
+// nothing (the backing array grows amortized and is then reused).
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) before(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.before(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // drop the *Proc reference
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s.before(l, min) {
+			min = l
+		}
+		if r < n && s.before(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}
+
 func (s *Simulator) schedule(p *Proc, at Time) {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: %g < %g", at, s.now))
 	}
 	s.seq++
-	heap.Push(&s.events, event{at: at, seq: s.seq, proc: p})
+	s.events.push(event{at: at, seq: s.seq, proc: p, gen: p.gen})
 }
 
 // Proc is a simulated process. All Proc methods must be called from the
@@ -75,7 +128,10 @@ func (s *Simulator) schedule(p *Proc, at Time) {
 type Proc struct {
 	sim       *Simulator
 	name      string
+	namef     func() string // lazy name; resolved on first Name() call
 	wake      chan struct{}
+	body      func(p *Proc)
+	gen       uint32 // bumped on pool reuse; stale events are discarded
 	done      bool
 	daemon    bool
 	terminate bool
@@ -85,8 +141,15 @@ type Proc struct {
 // simulation ends.
 type terminated struct{}
 
-// Name returns the process name given at Spawn time.
-func (p *Proc) Name() string { return p.name }
+// Name returns the process name. A lazily named process (SpawnLazy) builds
+// the name on first use, so the construction cost is only paid when someone
+// — typically a Trace hook or a panic message — actually asks for it.
+func (p *Proc) Name() string {
+	if p.name == "" && p.namef != nil {
+		p.name = p.namef()
+	}
+	return p.name
+}
 
 // Sim returns the simulator the process belongs to.
 func (p *Proc) Sim() *Simulator { return p.sim }
@@ -95,7 +158,7 @@ func (p *Proc) Sim() *Simulator { return p.sim }
 // time. The body runs in its own goroutine but only while the kernel has
 // handed it control.
 func (s *Simulator) Spawn(name string, body func(p *Proc)) *Proc {
-	return s.spawn(name, body, false)
+	return s.spawn(name, nil, body, false)
 }
 
 // SpawnDaemon creates a service process (e.g. a disk arm or a background load
@@ -103,42 +166,87 @@ func (s *Simulator) Spawn(name string, body func(p *Proc)) *Proc {
 // keep Run alive and do not count as deadlocked; when the event queue drains,
 // Run terminates them by unwinding their goroutines.
 func (s *Simulator) SpawnDaemon(name string, body func(p *Proc)) *Proc {
-	return s.spawn(name, body, true)
+	return s.spawn(name, nil, body, true)
 }
 
-func (s *Simulator) spawn(name string, body func(p *Proc), daemon bool) *Proc {
-	p := &Proc{sim: s, name: name, wake: make(chan struct{}), daemon: daemon}
+// SpawnLazy is Spawn with a lazily built name: namef runs only if the name
+// is ever needed. Hot paths that spawn many short-lived processes use this
+// to keep fmt.Sprintf out of the per-spawn cost.
+func (s *Simulator) SpawnLazy(namef func() string, body func(p *Proc)) *Proc {
+	return s.spawn("", namef, body, false)
+}
+
+// SpawnDaemonLazy is SpawnDaemon with a lazily built name.
+func (s *Simulator) SpawnDaemonLazy(namef func() string, body func(p *Proc)) *Proc {
+	return s.spawn("", namef, body, true)
+}
+
+func (s *Simulator) spawn(name string, namef func() string, body func(p *Proc), daemon bool) *Proc {
+	var p *Proc
+	if n := len(s.free); n > 0 {
+		// Reuse the goroutine + wake channel of a finished process. Safe
+		// because only one goroutine runs at a time: the pooled worker is
+		// parked on its wake channel, and gen invalidates any stale events.
+		p = s.free[n-1]
+		s.free = s.free[:n-1]
+		p.gen++
+		p.name, p.namef, p.body = name, namef, body
+		p.done, p.daemon, p.terminate = false, daemon, false
+	} else {
+		p = &Proc{sim: s, name: name, namef: namef, wake: make(chan struct{}), body: body, daemon: daemon}
+		go s.worker(p)
+	}
 	if daemon {
 		s.daemons = append(s.daemons, p)
 	} else {
 		s.running++
 	}
 	s.schedule(p, s.now)
-	go func() {
-		<-p.wake // wait for first dispatch
+	return p
+}
+
+// worker is the reusable goroutine backing one or more successive processes.
+// It runs one body per dispatch cycle, then parks itself in the free pool
+// until the simulator hands it a new body (or terminates it).
+func (s *Simulator) worker(p *Proc) {
+	for {
+		<-p.wake // wait for first dispatch of the current body
 		if p.terminate {
-			// Simulation ended before this process ever ran.
+			// Simulation ended before this process (or pooled worker) ran.
 			p.done = true
 			s.parked <- struct{}{}
 			return
 		}
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(terminated); !ok {
-					// Hand the panic to the kernel goroutine, which re-panics
-					// from Run so callers (and tests) can recover it.
-					s.failure = fmt.Sprintf("sim: process %q panicked: %v", name, r)
-				}
-			}
+		s.runBody(p)
+		if p.terminate {
+			// Unwound by the terminated{} sentinel at Run teardown: exit
+			// instead of returning to the pool.
 			p.done = true
-			if !p.daemon {
-				s.running--
-			}
 			s.parked <- struct{}{}
-		}()
-		body(p)
+			return
+		}
+		p.done = true
+		if !p.daemon {
+			s.running--
+		}
+		s.free = append(s.free, p)
+		s.parked <- struct{}{}
+	}
+}
+
+// runBody executes the process body, converting stray panics into a kernel
+// failure and absorbing the terminated{} unwind sentinel.
+func (s *Simulator) runBody(p *Proc) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(terminated); !ok {
+				// Hand the panic to the kernel goroutine, which re-panics
+				// from Run so callers (and tests) can recover it.
+				s.failure = fmt.Sprintf("sim: process %q panicked: %v", p.Name(), r)
+			}
+		}
 	}()
-	return p
+	p.body(p)
 }
 
 // Run executes events until none remain, or until every non-daemon process
@@ -147,16 +255,16 @@ func (s *Simulator) spawn(name string, body func(p *Proc), daemon bool) *Proc {
 // time.
 func (s *Simulator) Run() Time {
 	for len(s.events) > 0 && s.running > 0 {
-		e := heap.Pop(&s.events).(event)
-		if e.proc.done {
-			continue
+		e := s.events.pop()
+		if e.proc.done || e.gen != e.proc.gen {
+			continue // stale event of a finished (possibly reused) process
 		}
 		if e.at < s.now {
 			panic("sim: time went backwards")
 		}
 		s.now = e.at
 		if s.Trace != nil {
-			s.Trace(s.now, e.proc.name)
+			s.Trace(s.now, e.proc.Name())
 		}
 		e.proc.wake <- struct{}{}
 		<-s.parked
@@ -177,6 +285,13 @@ func (s *Simulator) Run() Time {
 		<-s.parked
 	}
 	s.daemons = nil
+	// Release pooled worker goroutines the same way.
+	for _, p := range s.free {
+		p.terminate = true
+		p.wake <- struct{}{}
+		<-s.parked
+	}
+	s.free = nil
 	return s.now
 }
 
@@ -191,11 +306,26 @@ func (p *Proc) park() {
 
 // Hold advances this process's local time by dt seconds of virtual time.
 // A non-positive dt yields control without advancing the clock.
+//
+// Fast path: when every pending event is strictly later than this process's
+// wakeup, the kernel would pop that wakeup next and hand control straight
+// back — so Hold skips the event queue and the park/dispatch round-trip
+// entirely and advances the clock in place. An equal-timestamp pending event
+// has an earlier sequence number and must fire first, so ties take the slow
+// path; the resulting schedule is identical either way, only the bookkeeping
+// is elided. Setting Trace forces the reference slow path so every dispatch
+// is observable.
 func (p *Proc) Hold(dt Time) {
 	if dt < 0 || math.IsNaN(dt) {
-		panic(fmt.Sprintf("sim: Hold(%g) in %q", dt, p.name))
+		panic(fmt.Sprintf("sim: Hold(%g) in %q", dt, p.Name()))
 	}
-	p.sim.schedule(p, p.sim.now+dt)
+	s := p.sim
+	at := s.now + dt
+	if s.Trace == nil && (len(s.events) == 0 || s.events[0].at > at) {
+		s.now = at
+		return
+	}
+	s.schedule(p, at)
 	p.park()
 }
 

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Snapshot the simulation-kernel and execution-engine benchmark suite into
+# BENCH_exec.json.
+#
+# Runs the sim micro-benchmarks (Hold fast path, reference dispatch,
+# ping-pong, pooled spawn, resource use, event heap) and the full-query exec
+# benchmarks (10-way QS/DS/loaded/spilling, plus the batched spill variant),
+# and pipes the output through cmd/benchsnap to record ns/op, B/op, and
+# allocs/op as JSON alongside the machine's Go version and CPU budget.
+#
+# Usage: scripts/bench_exec.sh  (from the repo root; writes BENCH_exec.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+{
+	go test ./internal/sim/ -run '^$' -bench . -benchmem
+	go test ./internal/exec/ -run '^$' -bench . -benchmem -benchtime 3x
+} | go run ./cmd/benchsnap -o BENCH_exec.json
+
+echo "wrote BENCH_exec.json"

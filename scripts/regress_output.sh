@@ -1,0 +1,45 @@
+#!/bin/sh
+# Regression-check the committed evaluation output, not eyeball it: rebuild
+# csq, rerun the exact commands documented at the top of EXPERIMENTS.md, and
+# diff the result against the committed results_full.txt with the wall-clock
+# timing lines (and the trailing exit marker) stripped on both sides. Any
+# change to a simulated number — a response time, a page count, a confidence
+# interval — fails the diff.
+#
+# The rerun takes a few minutes; pass "all" (the default) for just the ten
+# figures, or "full" to also rerun the extensions and ablations.
+#
+# Usage: scripts/regress_output.sh [all|full]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+mode="${1:-all}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/csq" ./cmd/csq
+
+# strip FILE: drop wall-clock timing lines and the exit marker.
+strip() { sed '/^  \[/d;/^EXIT=/d' "$1"; }
+# figures FILE: keep only the figure section (everything before the
+# first extension header).
+figures() { sed '/^Extension/,$d' "$1"; }
+
+"$tmp/csq" run -reps 5 -seed 1996 all >"$tmp/out.txt"
+if [ "$mode" = "full" ]; then
+	"$tmp/csq" run -reps 3 -seed 7 crossover star aggregate multiquery \
+		lookahead writecache elevator commutativity >>"$tmp/out.txt"
+	strip results_full.txt >"$tmp/golden.txt"
+	strip "$tmp/out.txt" >"$tmp/got.txt"
+else
+	strip results_full.txt | figures /dev/stdin >"$tmp/golden.txt"
+	strip "$tmp/out.txt" | figures /dev/stdin >"$tmp/got.txt"
+fi
+
+if diff -u "$tmp/golden.txt" "$tmp/got.txt"; then
+	echo "regress ($mode): output matches results_full.txt"
+else
+	echo "regress ($mode): OUTPUT DIVERGED from committed results_full.txt" >&2
+	exit 1
+fi

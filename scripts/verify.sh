@@ -19,4 +19,6 @@ echo "== go vet ./..."
 go vet ./...
 echo "== go test -race ./..."
 go test -race ./...
+echo "== bench smoke (1 iteration per benchmark)"
+go test -run '^$' -bench . -benchtime 1x ./internal/sim/ ./internal/exec/
 echo "verify: OK"
