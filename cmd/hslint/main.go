@@ -1,0 +1,90 @@
+// Command hslint runs hybridship's project-specific static analyzers over
+// the module and exits nonzero on findings. It is the compile-time gate for
+// the invariants the regression tests check after the fact: determinism
+// (nodeterm, floatsum), centralized seed derivation (seedflow), and the
+// allocation-lean simulation hot path (simhot).
+//
+// Usage:
+//
+//	hslint [packages]          lint (default ./...); exit 1 on findings
+//	hslint -waive [packages]   list every //hslint: waiver with its reason
+//	hslint -doc                print what each analyzer checks
+//
+// Findings are reported as `file:line: [analyzer] message`. A finding that
+// is provably harmless is waived in the source with
+// `//hslint:ordered -- reason` (map ranges) or
+// `//hslint:allow <analyzer> -- reason`; see internal/analysis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"hybridship/internal/analysis"
+)
+
+func main() {
+	listWaivers := flag.Bool("waive", false, "list all //hslint: waivers instead of linting")
+	doc := flag.Bool("doc", false, "describe the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: hslint [-waive] [-doc] [packages]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *doc {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *listWaivers {
+		ws := mod.Waivers()
+		sort.Slice(ws, func(i, j int) bool {
+			if ws[i].File != ws[j].File {
+				return ws[i].File < ws[j].File
+			}
+			return ws[i].Line < ws[j].Line
+		})
+		for _, w := range ws {
+			if w.Err != "" {
+				fmt.Printf("%s:%d: MALFORMED: %s\n", w.File, w.Line, w.Err)
+				continue
+			}
+			fmt.Printf("%s:%d: allow %v -- %s\n", w.File, w.Line, w.Analyzers, w.Reason)
+		}
+		fmt.Printf("%d waiver(s)\n", len(ws))
+		return
+	}
+
+	cfg := analysis.DefaultConfig(mod.Path)
+	diags := analysis.Run(mod, cfg, analysis.Analyzers())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if n := len(diags); n > 0 {
+		fmt.Fprintf(os.Stderr, "hslint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hslint:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Floatsum catches order-sensitive floating-point accumulation in the
+// deterministic packages. Float addition is not associative: summing the
+// same values in a different order gives a different last bit, and a
+// different last bit is a different figure. Two shapes let an unfixed order
+// reach a sum:
+//
+//   - `sum += x` inside a `range` over a map — iteration order is
+//     randomised per run;
+//   - `sum += x` executed inside a goroutine launched from a loop,
+//     targeting a variable declared outside the goroutine — completion
+//     order depends on scheduling (it is also a data race, but the race
+//     detector only sees schedules that happen; this is flagged always).
+//
+// The fix used throughout this repo is slot-indexed accumulation: each
+// worker writes res[i] and a sequential pass sums the slots in index order
+// (see internal/experiments/parallel.go).
+var Floatsum = &Analyzer{
+	Name: "floatsum",
+	Doc:  "floating-point accumulation in map ranges or goroutine-spawning loops",
+	Run:  runFloatsum,
+}
+
+func runFloatsum(u *Unit) {
+	for _, pkg := range u.Packages {
+		if !u.Config.deterministic(pkg.Path) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.RangeStmt:
+					if t := typeOf(pkg.Info, n.X); t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap {
+							// Only accumulation into state from outside the
+							// loop is order-sensitive; a local reset every
+							// iteration is fine.
+							flagFloatAccum(u, pkg, n.Body, n.Pos(), n.End(),
+								"inside a map range; iteration order changes the rounding")
+						}
+					}
+					checkGoAccum(u, pkg, n.Body)
+				case *ast.ForStmt:
+					checkGoAccum(u, pkg, n.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkGoAccum looks for goroutines launched in the loop body that
+// accumulate into floats declared outside the goroutine.
+func checkGoAccum(u *Unit, pkg *Package, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+			flagFloatAccum(u, pkg, lit.Body, lit.Pos(), lit.End(),
+				"into a variable shared across goroutines spawned in a loop; completion order changes the rounding (use slot-indexed accumulation)")
+		}
+		return false
+	})
+}
+
+// flagFloatAccum reports float compound assignments in body. When lo/hi are
+// set, only targets declared outside [lo, hi] — state that survives the
+// loop iteration or is shared with the spawner — are reported.
+func flagFloatAccum(u *Unit, pkg *Package, body *ast.BlockStmt, lo, hi token.Pos, why string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		default:
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			t := typeOf(pkg.Info, lhs)
+			if t == nil {
+				continue
+			}
+			b, ok := t.Underlying().(*types.Basic)
+			if !ok || b.Info()&types.IsFloat == 0 {
+				continue
+			}
+			if lo.IsValid() {
+				id := rootIdent(lhs)
+				if id == nil {
+					continue
+				}
+				obj := objectOf(pkg.Info, id)
+				if obj == nil || declaredWithin(obj, lo, hi) {
+					continue
+				}
+			}
+			u.Report(as.Pos(), "float accumulation (%s) %s", as.Tok, why)
+		}
+		return true
+	})
+}

@@ -1,0 +1,160 @@
+// Package loading. hslint must type-check the whole module with nothing but
+// the standard library, but since Go 1.20 the distribution no longer ships
+// pre-compiled export data for std, so importer.Default cannot resolve
+// imports on its own. The loader therefore does what go/packages does under
+// the hood: it shells out to the go command once —
+//
+//	go list -export -deps -json <patterns>
+//
+// — which compiles (or reuses from the build cache) export data for every
+// package in the dependency graph, then parses the module's own packages
+// from source and type-checks them with a gc importer whose lookup function
+// reads that export data. One subprocess, no third-party code, and the
+// linter sees exactly the sources the compiler would build.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Module is a fully parsed and type-checked set of packages.
+type Module struct {
+	Path     string // module path from go.mod
+	Fset     *token.FileSet
+	Packages []*Package
+}
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Load lists, parses and type-checks the packages matching patterns
+// (typically "./...") in the module containing dir.
+func Load(dir string, patterns ...string) (*Module, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	modPath, err := goCmd(dir, "list", "-m", "-f", "{{.Path}}")
+	if err != nil {
+		return nil, fmt.Errorf("resolving module path: %w", err)
+	}
+
+	args := append([]string{"list", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,Standard,DepOnly,GoFiles,Error"}, patterns...)
+	out, err := goCmd(dir, args...)
+	if err != nil {
+		return nil, fmt.Errorf("go list -export: %w", err)
+	}
+
+	exportData := make(map[string]string) // import path → export file
+	var targets []*listedPkg
+	dec := json.NewDecoder(strings.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exportData[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			pp := p
+			targets = append(targets, &pp)
+		}
+	}
+
+	mod := &Module{Path: strings.TrimSpace(modPath), Fset: token.NewFileSet()}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exportData[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(mod.Fset, "gc", lookup)
+
+	for _, t := range targets {
+		pkg, err := typecheck(mod.Fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		mod.Packages = append(mod.Packages, pkg)
+	}
+	return mod, nil
+}
+
+// typecheck parses t's (non-test) sources and runs go/types over them.
+func typecheck(fset *token.FileSet, imp types.Importer, t *listedPkg) (*Package, error) {
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", t.ImportPath, err)
+	}
+	return &Package{Path: t.ImportPath, Dir: t.Dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// goCmd runs the go tool in dir and returns its stdout.
+func goCmd(dir string, args ...string) (string, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return "", fmt.Errorf("go %s: %s", strings.Join(args, " "), msg)
+	}
+	return stdout.String(), nil
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Nodeterm guards the repo's byte-identical-output invariant against the
+// two classic leak channels:
+//
+//  1. In the deterministic packages, a `range` over a map whose body writes
+//     to (or returns) anything living outside the loop: Go randomises map
+//     iteration order, so such a loop can change results run to run. A
+//     plain assignment into an outer map (`dst[k] = v`) is allowed — each
+//     key gets exactly one value per iteration, so order cannot matter
+//     unless keys collide, which the waiver audit covers. Everything else —
+//     appends, accumulation (`+=`, `++`), sends, writes to outer scalars,
+//     and value-returning `return` statements — is flagged unless the range
+//     line carries `//hslint:ordered -- why`.
+//
+//  2. Wall-clock and ambient randomness anywhere outside the interactive
+//     entry points (cmd/, examples/): time.Now and time.Since read the host
+//     clock, and package-level math/rand functions (rand.Int, rand.Intn,
+//     rand.Seed, ...) share one global, lock-guarded source whose
+//     interleaving depends on scheduling. Simulation code must take its
+//     time from sim.Now and its randomness from a *rand.Rand seeded via
+//     internal/seedmix.
+var Nodeterm = &Analyzer{
+	Name: "nodeterm",
+	Doc:  "map-iteration order, wall-clock or global rand reaching deterministic results",
+	Run:  runNodeterm,
+}
+
+// randConstructors are the package-level math/rand functions that build
+// seeded values instead of touching the global source.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runNodeterm(u *Unit) {
+	for _, pkg := range u.Packages {
+		det := u.Config.deterministic(pkg.Path)
+		timingExempt := u.Config.timingExempt(pkg.Path)
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.RangeStmt:
+					if det {
+						checkMapRange(u, pkg, n)
+					}
+				case *ast.CallExpr:
+					if !timingExempt {
+						checkTimingAndRand(u, pkg, n)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func checkTimingAndRand(u *Unit, pkg *Package, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	f, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil {
+		return
+	}
+	sig, _ := f.Type().(*types.Signature)
+	if sig == nil || sig.Recv() != nil { // methods (e.g. (*rand.Rand).Intn) are fine
+		return
+	}
+	switch f.Pkg().Path() {
+	case "time":
+		if f.Name() == "Now" || f.Name() == "Since" {
+			u.Report(call.Pos(), "time.%s reads the wall clock; simulation code must use virtual time (sim.Now)", f.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[f.Name()] {
+			u.Report(call.Pos(), "global math/rand.%s is shared mutable state; use a *rand.Rand seeded via internal/seedmix", f.Name())
+		}
+	}
+}
+
+// checkMapRange flags writes that let map-iteration order escape the loop.
+func checkMapRange(u *Unit, pkg *Package, rng *ast.RangeStmt) {
+	t := typeOf(pkg.Info, rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	lo, hi := rng.Pos(), rng.End()
+	outer := func(e ast.Expr) types.Object {
+		id := rootIdent(e)
+		if id == nil || id.Name == "_" {
+			return nil
+		}
+		obj := objectOf(pkg.Info, id)
+		if obj == nil || declaredWithin(obj, lo, hi) {
+			return nil
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return nil
+		}
+		return obj
+	}
+	report := func(at ast.Node, format string, args ...any) {
+		// Position the finding on the range line so one //hslint:ordered
+		// waiver there covers the whole loop, as DESIGN.md documents.
+		line := u.Fset.Position(at.Pos()).Line
+		u.Report(rng.Pos(), "map range: %s (line %d); iteration order can reach the result — "+
+			"fix, or waive the range with //hslint:ordered -- why", fmt.Sprintf(format, args...), line)
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				obj := outer(lhs)
+				if obj == nil {
+					continue
+				}
+				if idx, ok := lhs.(*ast.IndexExpr); ok && n.Tok == token.ASSIGN {
+					if mt := typeOf(pkg.Info, idx.X); mt != nil {
+						if _, isMap := mt.Underlying().(*types.Map); isMap {
+							continue // dst[k] = v: one value per key, order-insensitive
+						}
+					}
+				}
+				if n.Tok == token.ASSIGN {
+					report(n, "writes %s, declared outside the loop", obj.Name())
+				} else {
+					report(n, "accumulates into %s (%s), declared outside the loop", obj.Name(), n.Tok)
+				}
+			}
+		case *ast.IncDecStmt:
+			if obj := outer(n.X); obj != nil {
+				report(n, "accumulates into %s (%s), declared outside the loop", obj.Name(), n.Tok)
+			}
+		case *ast.SendStmt:
+			if obj := outer(n.Chan); obj != nil {
+				report(n, "sends on %s, declared outside the loop", obj.Name())
+			}
+		case *ast.ReturnStmt:
+			if len(n.Results) > 0 {
+				report(n, "returns a value from inside the loop")
+			}
+		case *ast.FuncLit:
+			return false // a closure defined here may run later, out of loop context
+		}
+		return true
+	})
+}

@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Simhot enforces the PR 1/2 allocation-lean discipline on the simulation
+// kernel's hot path. Two rules:
+//
+//  1. Anywhere in the module, Spawn / SpawnDaemon must not be handed an
+//     eagerly built name — `Spawn(fmt.Sprintf("query%d", i), ...)` pays the
+//     Sprintf on every spawn even when nobody reads the name. Use SpawnLazy
+//     / SpawnDaemonLazy, whose name thunk runs only if Trace (or a panic
+//     message) actually asks for it.
+//
+//  2. Inside any function statically reachable from the kernel package's
+//     own functions — the per-event machinery: Hold, park, schedule, the
+//     heap ops, Run, the pooled workers — fmt.Sprintf and runtime string
+//     concatenation are flagged. Arguments to panic are exempt: a panic
+//     message is the cold path by definition. The call graph is static
+//     (direct calls and method calls on named types); process bodies are
+//     invoked through closures the kernel cannot see, so operator code is
+//     governed by rule 1 and by its own benchmarks, not by this walk.
+var Simhot = &Analyzer{
+	Name: "simhot",
+	Doc:  "eager process names and string building on the sim kernel hot path",
+	Run:  runSimhot,
+}
+
+func runSimhot(u *Unit) {
+	checkSpawnNames(u)
+	checkHotReachable(u)
+}
+
+// checkSpawnNames flags eager name arguments to the kernel's Spawn methods.
+func checkSpawnNames(u *Unit) {
+	for _, pkg := range u.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || (sel.Sel.Name != "Spawn" && sel.Sel.Name != "SpawnDaemon") {
+					return true
+				}
+				f, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || f.Pkg() == nil || f.Pkg().Path() != u.Config.SimPkg {
+					return true
+				}
+				if eagerName(pkg.Info, call.Args[0]) {
+					u.Report(call.Pos(), "%s with an eagerly built name argument; use %sLazy so the name is only built when traced",
+						sel.Sel.Name, sel.Sel.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// eagerName reports whether the name expression does per-call work:
+// a fmt.Sprintf call or a non-constant string concatenation.
+func eagerName(info *types.Info, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		return isPkgFunc(info, e.Fun, "fmt", "Sprintf")
+	case *ast.BinaryExpr:
+		return isRuntimeConcat(info, e)
+	}
+	return false
+}
+
+// isRuntimeConcat reports whether e is a string + that survives to runtime
+// (constant folding makes "a"+"b" free; those are not flagged).
+func isRuntimeConcat(info *types.Info, e *ast.BinaryExpr) bool {
+	if e.Op != token.ADD {
+		return false
+	}
+	tv, ok := info.Types[e]
+	if !ok || tv.Value != nil { // untyped or typed constant: folded at compile time
+		return false
+	}
+	t := tv.Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// checkHotReachable builds the static call graph, closes it over the kernel
+// package's functions, and flags string building inside the closure.
+func checkHotReachable(u *Unit) {
+	type fn struct {
+		decl *ast.FuncDecl
+		pkg  *Package
+	}
+	bodies := make(map[*types.Func]fn)
+	var roots []*types.Func
+	for _, pkg := range u.Packages {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				decl, ok := d.(*ast.FuncDecl)
+				if !ok || decl.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[decl.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				bodies[obj] = fn{decl, pkg}
+				if pkg.Path == u.Config.SimPkg {
+					roots = append(roots, obj)
+				}
+			}
+		}
+	}
+
+	reachable := make(map[*types.Func]bool)
+	work := append([]*types.Func(nil), roots...)
+	for _, r := range roots {
+		reachable[r] = true
+	}
+	for len(work) > 0 {
+		f := work[len(work)-1]
+		work = work[:len(work)-1]
+		b, ok := bodies[f]
+		if !ok {
+			continue
+		}
+		ast.Inspect(b.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var id *ast.Ident
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				id = fun
+			case *ast.SelectorExpr:
+				id = fun.Sel
+			default:
+				return true
+			}
+			if callee, ok := b.pkg.Info.Uses[id].(*types.Func); ok && !reachable[callee] {
+				if _, have := bodies[callee]; have {
+					reachable[callee] = true
+					work = append(work, callee)
+				}
+			}
+			return true
+		})
+	}
+
+	for f := range reachable {
+		b := bodies[f]
+		flagStringWork(u, b.pkg, f, b.decl.Body)
+	}
+}
+
+// flagStringWork reports Sprintf calls and runtime concats in body, skipping
+// panic arguments.
+func flagStringWork(u *Unit, pkg *Package, f *types.Func, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "panic" {
+					return false // panic message: cold by definition
+				}
+			}
+			if isPkgFunc(pkg.Info, n.Fun, "fmt", "Sprintf") {
+				u.Report(n.Pos(), "fmt.Sprintf in %s, which is reachable from the sim kernel hot path; build strings lazily or off the hot path", f.Name())
+			}
+		case *ast.BinaryExpr:
+			if isRuntimeConcat(pkg.Info, n) {
+				u.Report(n.Pos(), "string concatenation in %s, which is reachable from the sim kernel hot path; build strings lazily or off the hot path", f.Name())
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				if t := typeOf(pkg.Info, n.Lhs[0]); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						u.Report(n.Pos(), "string += in %s, which is reachable from the sim kernel hot path; build strings lazily or off the hot path", f.Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+}

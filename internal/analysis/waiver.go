@@ -1,0 +1,101 @@
+// Waivers. A finding the author can prove harmless is silenced in the
+// source, next to the code it covers, with a justification the reviewer can
+// audit:
+//
+//	//hslint:ordered -- inverting an enum map; values are unique by construction
+//	//hslint:allow simhot -- runs only when a process panics
+//	//hslint:allow nodeterm,floatsum -- slot-indexed; order cannot reach output
+//
+// `hslint:ordered` is shorthand for `hslint:allow nodeterm`, named after the
+// invariant it asserts: iteration order provably cannot reach the output.
+// A waiver covers diagnostics on its own line and on the line that follows,
+// so both end-of-line and line-above placement work. The ` -- reason` part
+// is mandatory: a waiver without a justification is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Waiver is one parsed //hslint: comment.
+type Waiver struct {
+	Pos       token.Pos
+	File      string
+	Line      int // covers this line and Line+1
+	Analyzers []string
+	Reason    string
+	Err       string // non-empty for a malformed waiver
+}
+
+// Waivers scans every file of the module for //hslint: comments.
+func (m *Module) Waivers() []Waiver {
+	var out []Waiver
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if w, ok := m.parseWaiver(c); ok {
+						out = append(out, w)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (m *Module) parseWaiver(c *ast.Comment) (Waiver, bool) {
+	text, ok := strings.CutPrefix(c.Text, "//hslint:")
+	if !ok {
+		return Waiver{}, false
+	}
+	pos := m.Fset.Position(c.Pos())
+	w := Waiver{Pos: c.Pos(), File: pos.Filename, Line: pos.Line}
+
+	directive, reason, hasReason := strings.Cut(text, "--")
+	directive = strings.TrimSpace(directive)
+	w.Reason = strings.TrimSpace(reason)
+
+	switch {
+	case directive == "ordered":
+		w.Analyzers = []string{"nodeterm"}
+	case strings.HasPrefix(directive, "allow"):
+		names := strings.TrimSpace(strings.TrimPrefix(directive, "allow"))
+		for _, n := range strings.Split(names, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				w.Analyzers = append(w.Analyzers, n)
+			}
+		}
+		if len(w.Analyzers) == 0 {
+			w.Err = "hslint:allow without analyzer names"
+		}
+	default:
+		w.Err = fmt.Sprintf("unknown hslint directive %q", directive)
+	}
+	if w.Err == "" && (!hasReason || w.Reason == "") {
+		w.Err = "hslint waiver without a ` -- reason` justification"
+	}
+	return w, true
+}
+
+// waived reports whether d is covered by any well-formed waiver.
+func waived(ws []Waiver, d Diagnostic) bool {
+	for i := range ws {
+		w := &ws[i]
+		if w.Err != "" || w.File != d.Pos.Filename {
+			continue
+		}
+		if d.Pos.Line != w.Line && d.Pos.Line != w.Line+1 {
+			continue
+		}
+		for _, a := range w.Analyzers {
+			if a == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

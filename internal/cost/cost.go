@@ -201,7 +201,7 @@ func (a *accum) total() float64 {
 
 func sortedSiteKeys(m map[catalog.SiteID]float64) []catalog.SiteID {
 	out := make([]catalog.SiteID, 0, len(m))
-	for s := range m {
+	for s := range m { //hslint:ordered -- keys are sorted immediately below
 		out = append(out, s)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -213,10 +213,10 @@ func (a *accum) bottleneck(disksPerSite int) float64 {
 		disksPerSite = 1
 	}
 	m := a.wire
-	for _, v := range a.cpu {
+	for _, v := range a.cpu { //hslint:ordered -- max is order-insensitive
 		m = math.Max(m, v)
 	}
-	for _, v := range a.disk {
+	for _, v := range a.disk { //hslint:ordered -- max is order-insensitive
 		// A site's disk work spreads over its arms in the best case.
 		m = math.Max(m, v/float64(disksPerSite))
 	}

@@ -124,7 +124,7 @@ func New(s *sim.Simulator, name string, params Params) *Disk {
 		sim: s, name: name, params: params,
 		cache: make(map[PageAddr]bool), dirty: make(map[PageAddr]bool), lastRead: -2, lastEnd: -2,
 	}
-	d.server = s.SpawnDaemon("disk:"+name, d.serve)
+	d.server = s.SpawnDaemonLazy(func() string { return "disk:" + name }, d.serve)
 	d.idle = true
 	return d
 }

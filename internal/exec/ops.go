@@ -236,7 +236,7 @@ func (a *aggOp) open(p *sim.Proc) {
 		}
 	}
 	a.emitted = make([]int64, 0, len(a.counts))
-	for g := range a.counts {
+	for g := range a.counts { //hslint:ordered -- group ids are sorted immediately below
 		a.emitted = append(a.emitted, g)
 	}
 	sortInt64s(a.emitted)
@@ -272,9 +272,9 @@ func (a *aggOp) close(p *sim.Proc) { a.child.close(p) }
 // uniformly over aggregation groups.
 func mix64(x uint64) uint64 {
 	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
+	x *= 0xbf58476d1ce4e5b9 //hslint:allow seedflow -- tuple-group hash; no RNG is seeded from this value
 	x ^= x >> 27
-	x *= 0x94d049bb133111eb
+	x *= 0x94d049bb133111eb //hslint:allow seedflow -- tuple-group hash; no RNG is seeded from this value
 	x ^= x >> 31
 	return x
 }

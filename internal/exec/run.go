@@ -191,7 +191,7 @@ func RunMulti(cfg Config, queries []QueryRun) (MultiResult, error) {
 			return MultiResult{}, fmt.Errorf("exec: query %d: plan root must be display", i)
 		}
 		i, qr, binding := i, qr, binding
-		e.sim.Spawn(fmt.Sprintf("query%d", i), func(p *sim.Proc) {
+		e.sim.SpawnLazy(func() string { return fmt.Sprintf("query%d", i) }, func(p *sim.Proc) {
 			if qr.Start > 0 {
 				p.Hold(qr.Start)
 			}

@@ -18,6 +18,7 @@ import (
 	"hybridship/internal/opt"
 	"hybridship/internal/plan"
 	"hybridship/internal/query"
+	"hybridship/internal/seedmix"
 	"hybridship/internal/stats"
 	"hybridship/internal/workload"
 )
@@ -86,15 +87,12 @@ func (f *Figure) String() string {
 	return b.String()
 }
 
-// seedFor derives a deterministic sub-seed from experiment coordinates.
+// seedFor derives a deterministic sub-seed from experiment coordinates. The
+// mixing itself lives in internal/seedmix — the one package allowed to
+// contain seed arithmetic — as Fold, the scheme every committed figure was
+// generated under.
 func seedFor(base int64, parts ...int64) int64 {
-	h := uint64(base) ^ 0x9e3779b97f4a7c15
-	for _, p := range parts {
-		h ^= uint64(p)
-		h *= 0xbf58476d1ce4e5b9
-		h ^= h >> 27
-	}
-	return int64(h & 0x7fffffffffffffff)
+	return seedmix.Fold(base, parts...)
 }
 
 // run describes one optimize-then-simulate execution.

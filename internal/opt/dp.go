@@ -224,7 +224,7 @@ func (d *DP) Optimize() (Result, error) {
 // deterministic.
 func sortedSites[V any](m map[catalog.SiteID]V) []catalog.SiteID {
 	out := make([]catalog.SiteID, 0, len(m))
-	for s := range m {
+	for s := range m { //hslint:ordered -- keys are sorted immediately below
 		out = append(out, s)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

@@ -345,7 +345,7 @@ func (o *Optimizer) randomLeftDeepTree(rng *rand.Rand) (*plan.Node, error) {
 	joined := map[string]bool{start: true}
 	for len(remaining) > 0 {
 		var candidates []string
-		for r := range remaining {
+		for r := range remaining { //hslint:ordered -- candidates are sorted before the seeded draw below
 			if q.Connected(joined, map[string]bool{r: true}) {
 				candidates = append(candidates, r)
 			}

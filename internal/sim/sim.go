@@ -242,6 +242,7 @@ func (s *Simulator) runBody(p *Proc) {
 			if _, ok := r.(terminated); !ok {
 				// Hand the panic to the kernel goroutine, which re-panics
 				// from Run so callers (and tests) can recover it.
+				//hslint:allow simhot -- runs only when a process panics; cold by definition
 				s.failure = fmt.Sprintf("sim: process %q panicked: %v", p.Name(), r)
 			}
 		}

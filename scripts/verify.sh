@@ -1,10 +1,17 @@
 #!/bin/sh
-# Full verification: tier-1 (build + tests) plus vet and the race detector.
+# Full verification: tier-1 (build + tests) plus vet, hslint, the race
+# detector, a fuzz smoke and a bench smoke.
 #
 # The race tier matters here because the optimizer and the experiment
 # harness both run on worker pools; `go test -race` exercises the parallel
 # II descents, the figure grids, and the determinism regression tests
 # (which flip GOMAXPROCS between 1 and 8) under the race detector.
+#
+# hslint is the compile-time gate for the invariants the regression tests
+# only check after the fact: no map-order, wall-clock or global-rand leaks
+# into deterministic results (nodeterm, floatsum), all seed mixing in
+# internal/seedmix (seedflow), and no eager string building on the sim
+# kernel's hot path (simhot). See DESIGN.md §8.
 #
 # Usage: scripts/verify.sh  (from anywhere inside the repo)
 set -eu
@@ -17,8 +24,16 @@ echo "== go test ./..."
 go test ./...
 echo "== go vet ./..."
 go vet ./...
+echo "== hslint (project invariants; list waivers: go run ./cmd/hslint -waive ./...)"
+go run ./cmd/hslint ./...
 echo "== go test -race ./..."
 go test -race ./...
-echo "== bench smoke (1 iteration per benchmark)"
-go test -run '^$' -bench . -benchtime 1x ./internal/sim/ ./internal/exec/
+echo "== fuzz smoke (2s per target)"
+go test -run '^$' -fuzz '^FuzzPlanWellFormed$' -fuzztime 2s ./internal/plan/
+go test -run '^$' -fuzz '^FuzzSeedMix$' -fuzztime 2s ./internal/seedmix/
+echo "== bench smoke (1 iteration per benchmark, every package with benchmarks)"
+# Derive the package list instead of hardcoding it, so new bench files are
+# exercised automatically.
+bench_pkgs=$(grep -rl --include='*_test.go' '^func Benchmark' . | xargs -n1 dirname | sort -u)
+go test -run '^$' -bench . -benchtime 1x $bench_pkgs
 echo "verify: OK"
