@@ -74,7 +74,7 @@ type request struct {
 	page   PageAddr
 	pages  int // contiguous run length; 1 for ordinary requests
 	cyl    int
-	waiter *sim.Proc
+	waiter sim.Ref // generation-stamped: an interrupted submitter is skipped
 	done   bool
 	seq    int64
 }
@@ -102,6 +102,10 @@ type Disk struct {
 	server *sim.Proc
 	idle   bool
 	seq    int64
+
+	// Fault state, driven by internal/faults through the engine's hooks.
+	stalled     bool // serve loop pauses between requests while set
+	stallParked bool // serve loop is blocked waiting for the stall to clear
 
 	curCyl  int
 	sweepUp bool
@@ -169,7 +173,7 @@ func (d *Disk) submit(p *sim.Proc, kind opKind, page PageAddr, n int) {
 		panic(fmt.Sprintf("disk %s: run [%d,%d) out of range [0,%d)", d.name, page, page+PageAddr(n), d.params.Capacity()))
 	}
 	d.seq++
-	r := &request{kind: kind, page: page, pages: n, cyl: d.cylOf(page), waiter: p, seq: d.seq}
+	r := &request{kind: kind, page: page, pages: n, cyl: d.cylOf(page), waiter: p.Ref(), seq: d.seq}
 	d.queue = append(d.queue, r)
 	if d.idle {
 		d.idle = false
@@ -208,7 +212,12 @@ func (d *Disk) rotateTo(p *sim.Proc, page PageAddr) {
 func (d *Disk) serve(p *sim.Proc) {
 	lowWater := d.params.WriteCachePages * 3 / 4
 	for {
-		for len(d.queue) == 0 {
+		for d.stalled {
+			// An injected I/O stall: finish nothing until SetStalled(false).
+			d.stallParked = true
+			p.Block()
+		}
+		if len(d.queue) == 0 {
 			// Destage the write-back cache when no requests are waiting and
 			// the cache is above its low-water mark. Waiting for the mark
 			// lets address-contiguous runs accumulate so a destage pass
@@ -221,6 +230,7 @@ func (d *Disk) serve(p *sim.Proc) {
 			}
 			d.idle = true
 			p.Block()
+			continue // re-check the stall flag before serving
 		}
 		r := d.pickElevator()
 		start := d.sim.Now()
@@ -240,8 +250,36 @@ func (d *Disk) serve(p *sim.Proc) {
 		}
 		d.stats.BusyTime += d.sim.Now() - start
 		r.done = true
-		r.waiter.Unblock()
+		r.waiter.Unblock() // no-op if the submitter was interrupted meanwhile
 	}
+}
+
+// SetStalled pauses (true) or resumes (false) the disk's service process
+// between requests, modelling a transient I/O fault. Requests submitted
+// during a stall queue up and are served when the stall clears; a request
+// already being serviced completes normally.
+func (d *Disk) SetStalled(stalled bool) {
+	d.stalled = stalled
+	if !stalled && d.stallParked {
+		d.stallParked = false
+		d.server.Unblock()
+	}
+}
+
+// Stalled reports whether the disk is currently stalled by SetStalled.
+func (d *Disk) Stalled() bool { return d.stalled }
+
+// CrashRestart models the disk coming back after its site crashed: all
+// volatile controller state — the clean cache, the write-back cache's dirty
+// pages, and the sequential-detection state — is lost. Media contents are
+// untouched (the simulator's relation extents are conceptually durable), and
+// pending queued requests survive to be served; their submitters have
+// typically been interrupted, so their completions go nowhere.
+func (d *Disk) CrashRestart() {
+	d.cache = make(map[PageAddr]bool)
+	d.cacheOrder = nil
+	d.dirty = make(map[PageAddr]bool)
+	d.lastRead, d.lastEnd = -2, -2
 }
 
 // pickElevator removes and returns the next request under SCAN scheduling:

@@ -287,3 +287,95 @@ func BenchmarkDiskCalibration(b *testing.B) {
 		measureReads(seq, params)
 	}
 }
+
+// TestStallDelaysQueuedRequests checks the injected I/O stall: a request
+// submitted while the disk is stalled waits for the resume and is then served
+// with exactly its normal mechanics — the stall shifts, it does not stretch,
+// the service.
+func TestStallDelaysQueuedRequests(t *testing.T) {
+	baseline := func(stall bool) float64 {
+		s := sim.New()
+		d := New(s, "d0", DefaultParams())
+		if stall {
+			d.SetStalled(true)
+			s.Spawn("ops", func(p *sim.Proc) {
+				p.Hold(0.05)
+				d.SetStalled(false)
+			})
+		}
+		var done float64
+		s.Spawn("reader", func(p *sim.Proc) {
+			d.Read(p, 0)
+			done = s.Now()
+		})
+		s.Run()
+		return done
+	}
+	plain := baseline(false)
+	stalled := baseline(true)
+	if diff := stalled - (0.05 + plain); diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("stalled read finished at %g, want resume time + plain service = %g", stalled, 0.05+plain)
+	}
+}
+
+// TestStallSparesInFlightRequest checks that a stall raised mid-service lets
+// the request being served complete normally: the stall flag is honored only
+// between requests.
+func TestStallSparesInFlightRequest(t *testing.T) {
+	run := func(stallAt float64) float64 {
+		s := sim.New()
+		d := New(s, "d0", DefaultParams())
+		if stallAt > 0 {
+			s.Spawn("ops", func(p *sim.Proc) {
+				p.Hold(stallAt)
+				d.SetStalled(true)
+			})
+		}
+		var done float64
+		s.Spawn("reader", func(p *sim.Proc) {
+			d.ReadRun(p, 0, 200)
+			done = s.Now()
+		})
+		s.Run()
+		return done
+	}
+	plain := run(0)
+	if plain < 0.2 {
+		t.Fatalf("200-page run took %g s; too fast for the stall to land mid-service", plain)
+	}
+	midStalled := run(plain / 2)
+	if midStalled != plain {
+		t.Errorf("run with mid-service stall finished at %g, want %g (in-flight request must complete)", midStalled, plain)
+	}
+}
+
+// TestCrashRestartDropsCache checks that CrashRestart loses the volatile
+// cache: a page that was a cache hit before the crash costs full mechanical
+// service again after it.
+func TestCrashRestartDropsCache(t *testing.T) {
+	s := sim.New()
+	d := New(s, "d0", DefaultParams())
+	var hit, postCrash float64
+	s.Spawn("reader", func(p *sim.Proc) {
+		// Reads of pages 0 and 1 establish a sequential pattern; the second
+		// triggers read-ahead, prefetching the following pages.
+		d.Read(p, 0)
+		d.Read(p, 1)
+
+		start := s.Now()
+		d.Read(p, 2)
+		hit = s.Now() - start
+
+		d.CrashRestart()
+		start = s.Now()
+		d.Read(p, 3) // was prefetched too, but the crash dropped it
+		postCrash = s.Now() - start
+	})
+	s.Run()
+	if hit > 0.001 {
+		t.Fatalf("read of prefetched page took %g s; expected a controller cache hit", hit)
+	}
+	if postCrash < 2*hit || postCrash < 0.002 {
+		t.Errorf("post-crash read took %g s, want full mechanical service (hit was %g)", postCrash, hit)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"hybridship/internal/catalog"
+	"hybridship/internal/faults"
 	"hybridship/internal/plan"
 	"hybridship/internal/workload"
 )
@@ -56,4 +57,35 @@ func BenchmarkRunSpillBatched(b *testing.B) {
 	cfg := chainConfig(b, 10, 4, workload.Moderate, false)
 	cfg.Params.BatchPages = 8
 	benchRun(b, cfg, annotate(leftDeepChain(10), plan.QueryShipping))
+}
+
+// BenchmarkRun10WayQSFaultsArmed is BenchmarkRun10WayQS with the fault
+// subsystem armed but idle: the only scripted fault lies far beyond the end
+// of the run, so the delta against the unarmed benchmark is the price of
+// fault-capability (supervised attempts, interruptible waits, deferred
+// resource releases) on a fault-free run.
+func BenchmarkRun10WayQSFaultsArmed(b *testing.B) {
+	cfg := chainConfig(b, 10, 4, workload.Moderate, true)
+	cfg.Faults = &faults.Config{
+		Seed:   1,
+		Script: []faults.Event{{At: 1e9, Kind: faults.SiteCrash, Site: 0, Duration: 1}},
+	}
+	benchRun(b, cfg, annotate(leftDeepChain(10), plan.QueryShipping))
+}
+
+// BenchmarkRun2WayQSFaultsChaos runs a short query under live stochastic
+// site crashes (plus retries and aborted work): the cost of a realistically
+// faulted execution, not just of the standing machinery. The query is kept
+// short (2-way, one server) so each attempt has a good chance of fitting
+// inside an up-interval; a crash-dominated run would measure the retry loop,
+// not the engine.
+func BenchmarkRun2WayQSFaultsChaos(b *testing.B) {
+	cfg := chainConfig(b, 2, 1, workload.Moderate, true)
+	cfg.Faults = &faults.Config{
+		Seed:       1,
+		SiteMTBF:   20,
+		SiteMTTR:   1,
+		MaxRetries: 200,
+	}
+	benchRun(b, cfg, annotate(leftDeepChain(2), plan.QueryShipping))
 }

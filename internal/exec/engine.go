@@ -19,6 +19,7 @@ import (
 
 	"hybridship/internal/catalog"
 	"hybridship/internal/disk"
+	"hybridship/internal/faults"
 	"hybridship/internal/netsim"
 	"hybridship/internal/query"
 	"hybridship/internal/seedmix"
@@ -129,6 +130,13 @@ type Config struct {
 	// Seed drives the external load arrival process.
 	Seed int64
 
+	// Faults, when non-nil and enabled, injects deterministic failures
+	// (site crashes, network outages/degradation, disk stalls) and turns on
+	// the failure-aware retry loop. Nil (or a disabled config) keeps the
+	// exact fault-free engine: no injector daemons, no interrupt arming, no
+	// extra state on the hot path.
+	Faults *faults.Config
+
 	// Trace, when set, receives every kernel dispatch (virtual time plus the
 	// dispatched process name). Setting it also disables the simulator's
 	// in-place Hold fast path, forcing the reference park/dispatch protocol —
@@ -145,6 +153,12 @@ type Result struct {
 	ResultTuples int64   // cardinality of the displayed result
 	DiskStats    map[catalog.SiteID]disk.Stats
 	NetStats     netsim.Stats
+
+	// Failure-awareness counters; all zero when faults are disabled.
+	Retries     int64        // aborted or unrunnable rounds before completion
+	AbortedWork float64      // virtual seconds of attempts that were aborted
+	BackoffTime float64      // virtual seconds spent waiting between attempts
+	FaultStats  faults.Stats // what the injector actually did
 }
 
 // diskAddr locates one page on one of a site's disks.
@@ -163,6 +177,7 @@ type site struct {
 	id    catalog.SiteID
 	cpu   *sim.Resource
 	disks []*disk.Disk
+	up    bool // flipped by the fault injector's crash/restart hooks
 
 	// Disk layout: extents assigned to relations (servers) or cached
 	// relation prefixes (client) are spread over the site's disks round
@@ -230,6 +245,12 @@ type engine struct {
 	servers []*site
 	relIdx  map[string]int // relation name -> tuple slot
 	rng     *rand.Rand
+
+	// Failure awareness; all nil/empty when faults are disabled (e.ftl ==
+	// nil selects the legacy execution path throughout).
+	ftl      *failoverParams
+	inj      *faults.Injector
+	attempts []*attemptState // in-flight attempts, consulted by crash hooks
 }
 
 func (e *engine) site(id catalog.SiteID) *site {
@@ -269,6 +290,7 @@ func newEngine(cfg Config) (*engine, error) {
 			id:      id,
 			cpu:     sim.NewResource(e.sim, "cpu:"+name, 1),
 			extents: make(map[string]diskAddr),
+			up:      true,
 		}
 		for d := 0; d < cfg.Params.NumDisks; d++ {
 			s.disks = append(s.disks, disk.New(e.sim, fmt.Sprintf("%s/%d", name, d), cfg.Params.Disk))
@@ -314,6 +336,34 @@ func newEngine(cfg Config) (*engine, error) {
 		}
 		e.spawnLoad(e.site(id), rate)
 	}
+
+	// Fault injection (opt-in): wire the injector's hooks to the simulated
+	// hardware and spawn its daemons. This is the only place the simulation
+	// is armed for interrupts.
+	if cfg.Faults.Enabled() {
+		e.ftl = newFailoverParams(cfg.Faults)
+		hooks := faults.Hooks{Sites: make([]faults.SiteHooks, len(e.servers))}
+		for i, s := range e.servers {
+			dh := make([]faults.DiskHooks, len(s.disks))
+			for j, d := range s.disks {
+				d := d
+				dh[j] = faults.DiskHooks{
+					Stall:  func() { d.SetStalled(true) },
+					Resume: func() { d.SetStalled(false) },
+				}
+			}
+			i, s := i, s
+			hooks.Sites[i] = faults.SiteHooks{
+				Crash:   func() { e.crashServer(i) },
+				Restart: func() { s.up = true },
+				Disks:   dh,
+			}
+		}
+		hooks.NetDown = func() { e.net.SetDown(true) }
+		hooks.NetUp = func() { e.net.SetDown(false) }
+		hooks.NetDegrade = func(f float64) { e.net.SetDegrade(f) }
+		e.inj = faults.New(e.sim, *cfg.Faults, hooks)
+	}
 	return e, nil
 }
 
@@ -326,6 +376,9 @@ func (e *engine) spawnLoad(s *site, reqPerSec float64) {
 		for i := 0; ; i++ {
 			p.Hold(rng.ExpFloat64() / reqPerSec)
 			target := diskAddr{dsk: rng.Intn(len(s.disks)), page: disk.PageAddr(rng.Int63n(capacity))}
+			if !s.up {
+				continue // a crashed server takes no external load; draws stay aligned
+			}
 			// Each arrival runs as its own process so that a slow disk
 			// queues arrivals instead of throttling them (open-loop load).
 			// The kernel pools the goroutine/channel machinery of finished

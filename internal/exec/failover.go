@@ -1,0 +1,356 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hybridship/internal/catalog"
+	"hybridship/internal/faults"
+	"hybridship/internal/plan"
+	"hybridship/internal/seedmix"
+	"hybridship/internal/sim"
+)
+
+// Failure-aware execution. When Config.Faults enables injection, every query
+// runs as a sequence of attempts: the plan's site annotations are re-bound
+// against the sites that are up right now (the execution-time half of §5's
+// 2-step optimization, applied to availability instead of load), the attempt
+// runs under an attemptState supervisor, and on abort the query backs off
+// exponentially and tries again. A crash tears down the attempt through the
+// sim kernel's Interrupt primitive; the wasted virtual time is accounted as
+// AbortedWork.
+
+// seedRetryLoop tags the per-query backoff-jitter RNG stream derived from
+// the fault seed (seedLoadGen = 101 is the neighboring engine tag).
+const seedRetryLoop int64 = 102
+
+// failoverParams is Config.Faults with its defaults resolved, present on the
+// engine only when injection is enabled; e.ftl == nil selects the exact
+// legacy execution path.
+type failoverParams struct {
+	seed         int64
+	fetchTimeout float64
+	maxRetries   int
+	backoffBase  float64
+	backoffMax   float64
+}
+
+func newFailoverParams(fc *faults.Config) *failoverParams {
+	return &failoverParams{
+		seed:         fc.Seed,
+		fetchTimeout: fc.FetchTimeoutOrDefault(),
+		maxRetries:   fc.MaxRetriesOrDefault(),
+		backoffBase:  fc.BackoffBaseOrDefault(),
+		backoffMax:   fc.BackoffMaxOrDefault(),
+	}
+}
+
+// backoff returns the wait before retry number attempt (0-based), jittered
+// ±50% so synchronized failures do not retry in lockstep.
+func (f *failoverParams) backoff(attempt int, rng *rand.Rand) float64 {
+	d := f.backoffBase * math.Pow(2, float64(attempt))
+	if d > f.backoffMax {
+		d = f.backoffMax
+	}
+	return d * (0.5 + rng.Float64())
+}
+
+// Abort reasons (also surfaced in errors and traces).
+const (
+	reasonSiteCrash    = "server crashed"
+	reasonSiteDown     = "server is down"
+	reasonFetchTimeout = "page-fault fetch timed out"
+	reasonHelper       = "producer process interrupted"
+	reasonTeardown     = "attempt aborted"
+)
+
+// attemptState supervises one execution attempt of one query: the main
+// (consumer) process, the helper daemons it spawned (network producers), and
+// the set of server sites the attempt depends on. A site crash aborts every
+// registered attempt that depends on it by interrupting its main process;
+// the main process's recovery handler then tears down the helpers.
+type attemptState struct {
+	e        *engine
+	mainProc *sim.Proc
+	main     sim.Ref
+	helpers  []sim.Ref
+	deps     []bool // per-server: does this attempt need that site?
+	failed   bool
+	finished bool
+	reason   string
+
+	// One synchronous page-fault fetch may be outstanding per attempt; the
+	// sequence number pairs each watchdog with its fetch so a stale watchdog
+	// (its fetch long since completed) cannot fire.
+	fetchSeq int64
+	fetchOn  bool
+}
+
+func (e *engine) newAttempt(p *sim.Proc, root *plan.Node, b plan.Binding) *attemptState {
+	att := &attemptState{e: e, mainProc: p, main: p.Ref(), deps: e.attemptDeps(root, b)}
+	return att
+}
+
+// attemptDeps computes which server sites the attempt needs alive: every
+// site an operator is bound to, plus the home of any client-bound scan whose
+// relation is not fully cached (page faults go to the home server).
+func (e *engine) attemptDeps(root *plan.Node, b plan.Binding) []bool {
+	deps := make([]bool, len(e.servers))
+	root.Walk(func(n *plan.Node) {
+		s := b[n]
+		if s != catalog.Client {
+			deps[int(s)] = true
+			return
+		}
+		if n.Kind == plan.KindScan {
+			r := e.cfg.Catalog.MustRelation(n.Table)
+			if e.cachedPagesOf(n.Table) < r.Pages(e.cfg.Params.PageSize) {
+				deps[int(r.Home)] = true
+			}
+		}
+	})
+	return deps
+}
+
+// cachedPagesOf returns the client-cached prefix length, clamped to the
+// relation size (the same clamp newScan applies).
+func (e *engine) cachedPagesOf(rel string) int {
+	r := e.cfg.Catalog.MustRelation(rel)
+	cp := e.cfg.Catalog.CachedPages(rel)
+	if max := r.Pages(e.cfg.Params.PageSize); cp > max {
+		cp = max
+	}
+	return cp
+}
+
+// abort requests the attempt be torn down: called by crash hooks and fetch
+// watchdogs (never by the main process itself). Idempotent; a finished or
+// already-failing attempt is left alone.
+func (a *attemptState) abort(reason string) {
+	if a.failed || a.finished {
+		return
+	}
+	a.failed = true
+	a.reason = reason
+	a.main.Interrupt(reason)
+}
+
+// failFrom aborts the attempt from inside operator code running on process
+// p, then unwinds p. When p is the main process the unwind itself delivers
+// the abort (no interrupt needed); a helper additionally interrupts main.
+func (a *attemptState) failFrom(p *sim.Proc, reason string) {
+	if !a.failed && !a.finished {
+		a.failed = true
+		a.reason = reason
+		if p != a.mainProc {
+			a.main.Interrupt(reason)
+		}
+	}
+	panic(sim.Interrupted{Reason: reason})
+}
+
+// addHelper registers a producer daemon spawned for this attempt, so
+// teardown can interrupt it. Called at spawn time (before the helper first
+// runs), so a helper can never outlive its attempt unsupervised.
+func (a *attemptState) addHelper(p *sim.Proc) {
+	a.helpers = append(a.helpers, p.Ref())
+}
+
+// teardown interrupts every registered helper; refs of helpers that already
+// finished or unwound are skipped.
+func (a *attemptState) teardown() {
+	for _, h := range a.helpers {
+		h.Interrupt(reasonTeardown)
+	}
+	a.helpers = nil
+}
+
+// beginFetch marks a synchronous page-fault round trip as outstanding and
+// arms a watchdog: if the fetch is still the outstanding one when
+// fetchTimeout elapses, the attempt aborts (a dead or partitioned server is
+// indistinguishable from a slow one at the protocol level).
+func (a *attemptState) beginFetch() {
+	a.fetchSeq++
+	a.fetchOn = true
+	seq := a.fetchSeq
+	a.e.sim.SpawnDaemonLazy(func() string { return "fetch-watchdog" }, func(w *sim.Proc) {
+		w.Hold(a.e.ftl.fetchTimeout)
+		if a.fetchOn && a.fetchSeq == seq {
+			a.abort(reasonFetchTimeout)
+		}
+	})
+}
+
+func (a *attemptState) endFetch() { a.fetchOn = false }
+
+// registerAttempt/unregisterAttempt maintain the engine's list of in-flight
+// attempts that crash hooks consult.
+func (e *engine) registerAttempt(a *attemptState) {
+	e.attempts = append(e.attempts, a)
+}
+
+func (e *engine) unregisterAttempt(a *attemptState) {
+	for i, x := range e.attempts {
+		if x == a {
+			e.attempts = append(e.attempts[:i], e.attempts[i+1:]...)
+			return
+		}
+	}
+}
+
+// crashServer is the injector's crash hook: flip the site down, lose its
+// volatile disk state, and abort every attempt that depends on it.
+func (e *engine) crashServer(i int) {
+	s := e.servers[i]
+	s.up = false
+	for _, d := range s.disks {
+		d.CrashRestart()
+	}
+	for _, att := range e.attempts {
+		if att.deps[i] {
+			att.abort(reasonSiteCrash)
+		}
+	}
+}
+
+// siteUp reports whether a binding target is currently usable. The client
+// never fails (it is the machine the user is sitting at; if it dies there is
+// no query to answer).
+func (e *engine) siteUp(id catalog.SiteID) bool {
+	if id == catalog.Client {
+		return true
+	}
+	return e.servers[int(id)].up
+}
+
+// rebind maps the plan's compile-time binding onto the surviving sites:
+//
+//   - A scan at a dead home falls back to the client iff the relation is
+//     fully cached there (client-side data shipping); a partially cached
+//     relation needs its home for the page faults, so the query is not
+//     runnable until the home restarts.
+//   - Any other operator at a dead site is relocated to its left (build)
+//     child's effective site when that survives, else to the client —
+//     the hybrid-shipping move of annotating operators at execution time.
+//
+// The second result reports whether every scan found a usable site; when
+// false the caller backs off and re-binds later instead of attempting.
+func (e *engine) rebind(root *plan.Node, base plan.Binding) (plan.Binding, bool) {
+	eff := make(plan.Binding, len(base))
+	runnable := true
+	var assign func(n *plan.Node) catalog.SiteID
+	assign = func(n *plan.Node) catalog.SiteID {
+		want := base[n]
+		if n.Kind == plan.KindScan {
+			r := e.cfg.Catalog.MustRelation(n.Table)
+			fully := e.cachedPagesOf(n.Table) >= r.Pages(e.cfg.Params.PageSize)
+			if want != catalog.Client {
+				if e.siteUp(want) {
+					eff[n] = want
+					return want
+				}
+				if fully {
+					eff[n] = catalog.Client // ship cached data client-side
+					return catalog.Client
+				}
+				runnable = false
+				eff[n] = want
+				return want
+			}
+			if !fully && !e.siteUp(r.Home) {
+				runnable = false // the faulted remainder needs the home
+			}
+			eff[n] = catalog.Client
+			return catalog.Client
+		}
+		left := catalog.Client
+		if n.Left != nil {
+			left = assign(n.Left)
+		}
+		if n.Right != nil {
+			assign(n.Right)
+		}
+		if e.siteUp(want) {
+			eff[n] = want
+			return want
+		}
+		tgt := left
+		if !e.siteUp(tgt) {
+			tgt = catalog.Client
+		}
+		eff[n] = tgt
+		return tgt
+	}
+	assign(root)
+	return eff, runnable
+}
+
+// queryOutcome is what one query's retry loop reports up to Run/RunMulti.
+type queryOutcome struct {
+	tuples      int64
+	retries     int64
+	abortedWork float64
+	backoffTime float64
+}
+
+// runQuery executes one query to completion on process p. With faults
+// disabled this is exactly the legacy path — build once, drain the display
+// operator — so fault-free runs stay byte-identical. With faults enabled it
+// is the retry loop: re-bind against survivors, attempt, and on failure back
+// off exponentially (deterministically jittered per query) before retrying.
+func (e *engine) runQuery(p *sim.Proc, qi int, root *plan.Node, base plan.Binding) (queryOutcome, error) {
+	var out queryOutcome
+	if e.ftl == nil {
+		display := &displayOp{e: e, child: e.build(root.Left, base, base[root], nil)}
+		display.run(p)
+		out.tuples = display.tuples
+		return out, nil
+	}
+	rng := rand.New(rand.NewSource(seedmix.Derive(e.ftl.seed, seedRetryLoop, int64(qi))))
+	lastReason := "no surviving binding for every scan"
+	for attempt := 0; ; attempt++ {
+		eff, runnable := e.rebind(root, base)
+		if runnable {
+			start := e.sim.Now()
+			att := e.newAttempt(p, root, eff)
+			tuples, completed := e.attemptOnce(p, att, root, eff)
+			p.ClearInterrupt() // defuse an abort that raced with completion
+			if completed {
+				out.tuples = tuples
+				return out, nil
+			}
+			lastReason = att.reason
+			out.abortedWork += e.sim.Now() - start
+		}
+		out.retries++
+		if attempt >= e.ftl.maxRetries {
+			return out, fmt.Errorf("exec: query %d failed after %d attempts: %s", qi, attempt+1, lastReason)
+		}
+		d := e.ftl.backoff(attempt, rng)
+		out.backoffTime += d
+		p.Hold(d)
+	}
+}
+
+// attemptOnce runs a single bound attempt under the supervisor. It returns
+// completed == false when the attempt was aborted (the Interrupted unwind is
+// absorbed here and the helpers are torn down); any other panic propagates.
+func (e *engine) attemptOnce(p *sim.Proc, att *attemptState, root *plan.Node, b plan.Binding) (tuples int64, completed bool) {
+	defer func() {
+		r := recover()
+		att.finished = true
+		e.unregisterAttempt(att)
+		if r != nil {
+			if _, isIntr := r.(sim.Interrupted); !isIntr {
+				panic(r)
+			}
+			att.teardown()
+			completed = false
+		}
+	}()
+	e.registerAttempt(att)
+	display := &displayOp{e: e, child: e.build(root.Left, b, b[root], att)}
+	display.run(p)
+	return display.tuples, true
+}

@@ -1,0 +1,202 @@
+package exec
+
+import (
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"hybridship/internal/faults"
+	"hybridship/internal/plan"
+	"hybridship/internal/workload"
+)
+
+// TestCrashDuringQueryRetriesAndCompletes is the acceptance scenario: a
+// server crash mid-query aborts the attempt, the query backs off and retries
+// after the restart, and the final answer is exactly the fault-free one —
+// with the wasted work and the retry visible in the counters.
+func TestCrashDuringQueryRetriesAndCompletes(t *testing.T) {
+	clean := func() Result {
+		cfg := chainConfig(t, 2, 1, workload.Moderate, true)
+		res, err := Run(cfg, annotate(leftDeepChain(2), plan.QueryShipping))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	faulted := func() Result {
+		cfg := chainConfig(t, 2, 1, workload.Moderate, true)
+		cfg.Faults = &faults.Config{
+			Seed:   7,
+			Script: []faults.Event{{At: 1.0, Kind: faults.SiteCrash, Site: 0, Duration: 2.0}},
+		}
+		res, err := Run(cfg, annotate(leftDeepChain(2), plan.QueryShipping))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	base := clean()
+	res := faulted()
+	if res.ResultTuples != base.ResultTuples {
+		t.Errorf("faulted run returned %d tuples, want the fault-free %d", res.ResultTuples, base.ResultTuples)
+	}
+	if res.Retries < 1 {
+		t.Errorf("Retries = %d, want >= 1 (the crash must have aborted an attempt)", res.Retries)
+	}
+	if res.AbortedWork <= 0 {
+		t.Errorf("AbortedWork = %g, want > 0", res.AbortedWork)
+	}
+	if res.BackoffTime <= 0 {
+		t.Errorf("BackoffTime = %g, want > 0", res.BackoffTime)
+	}
+	if res.ResponseTime <= base.ResponseTime {
+		t.Errorf("faulted response time %g not above fault-free %g", res.ResponseTime, base.ResponseTime)
+	}
+	if res.FaultStats.SiteCrashes != 1 {
+		t.Errorf("FaultStats.SiteCrashes = %d, want 1", res.FaultStats.SiteCrashes)
+	}
+
+	// Determinism including the failure counters: same seed, same config,
+	// bit-identical Result.
+	if again := faulted(); !reflect.DeepEqual(res, again) {
+		t.Errorf("repeated faulted run diverged:\n got %+v\nwant %+v", again, res)
+	}
+}
+
+// TestPermanentCrashFallsBackToClientCache checks client-side data shipping
+// as the availability fallback: when the only server dies for good but the
+// client cache holds every page, re-binding moves the scans (and their
+// consumers) to the client and the query still completes.
+func TestPermanentCrashFallsBackToClientCache(t *testing.T) {
+	cfg := chainConfig(t, 2, 1, workload.Moderate, true)
+	if err := workload.CacheAllFraction(cfg.Catalog, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = &faults.Config{
+		Seed:   3,
+		Script: []faults.Event{{At: 0.5, Kind: faults.SiteCrash, Site: 0}}, // permanent
+	}
+	res, err := Run(cfg, annotate(leftDeepChain(2), plan.QueryShipping))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := workload.ExpectedResult(2, workload.Moderate); res.ResultTuples != want {
+		t.Errorf("result tuples = %d, want %d", res.ResultTuples, want)
+	}
+	if res.Retries < 1 {
+		t.Errorf("Retries = %d, want >= 1", res.Retries)
+	}
+}
+
+// TestPermanentCrashWithoutCacheFails checks the other side of the fallback:
+// with the relations only partially cached the dead server is irreplaceable,
+// so the query exhausts its retries and reports a clear error.
+func TestPermanentCrashWithoutCacheFails(t *testing.T) {
+	cfg := chainConfig(t, 2, 1, workload.Moderate, true)
+	cfg.Faults = &faults.Config{
+		Seed:       3,
+		MaxRetries: 3,
+		Script:     []faults.Event{{At: 0.5, Kind: faults.SiteCrash, Site: 0}},
+	}
+	_, err := Run(cfg, annotate(leftDeepChain(2), plan.QueryShipping))
+	if err == nil {
+		t.Fatal("query against a permanently dead, uncached server succeeded")
+	}
+	if !strings.Contains(err.Error(), "failed after") {
+		t.Errorf("error %q does not report retry exhaustion", err)
+	}
+}
+
+// TestFetchTimeoutRecoversFromOutage drives the page-fault-shipping watchdog:
+// a network outage stalls a synchronous fetch past FetchTimeout, the attempt
+// aborts, and retries succeed once the link is back.
+func TestFetchTimeoutRecoversFromOutage(t *testing.T) {
+	cfg := chainConfig(t, 2, 1, workload.Moderate, true)
+	if err := workload.CacheAllFraction(cfg.Catalog, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = &faults.Config{
+		Seed:         11,
+		FetchTimeout: 0.5,
+		Script:       []faults.Event{{At: 0.2, Kind: faults.NetOutage, Duration: 3.0}},
+	}
+	res, err := Run(cfg, annotate(leftDeepChain(2), plan.DataShipping))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := workload.ExpectedResult(2, workload.Moderate); res.ResultTuples != want {
+		t.Errorf("result tuples = %d, want %d", res.ResultTuples, want)
+	}
+	if res.Retries < 1 {
+		t.Errorf("Retries = %d, want >= 1 (the timed-out fetch must have aborted an attempt)", res.Retries)
+	}
+	if res.FaultStats.NetOutages != 1 {
+		t.Errorf("FaultStats.NetOutages = %d, want 1", res.FaultStats.NetOutages)
+	}
+}
+
+// TestFaultFreeConfigsAgree compares three executions of the same query: the
+// legacy path (Faults nil), a disabled fault config (Enabled() == false), and
+// an armed config whose only scripted fault lies far beyond the end of the
+// run. All three must produce the same virtual-time behavior — the
+// fault-handling machinery may not shift a single event when no fault fires.
+func TestFaultFreeConfigsAgree(t *testing.T) {
+	run := func(fc *faults.Config) Result {
+		cfg := chainConfig(t, 4, 2, workload.Moderate, true)
+		cfg.Faults = fc
+		res, err := Run(cfg, annotate(leftDeepChain(4), plan.HybridShipping))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	legacy := run(nil)
+	disabled := run(&faults.Config{MaxRetries: 5}) // tuning only: not enabled
+	if !reflect.DeepEqual(legacy, disabled) {
+		t.Errorf("disabled fault config diverged from legacy:\n got %+v\nwant %+v", disabled, legacy)
+	}
+	armed := run(&faults.Config{
+		Seed:   9,
+		Script: []faults.Event{{At: 1e9, Kind: faults.SiteCrash, Site: 0, Duration: 1}},
+	})
+	if armed.ResultTuples != legacy.ResultTuples ||
+		armed.ResponseTime != legacy.ResponseTime ||
+		armed.PagesSent != legacy.PagesSent ||
+		armed.Messages != legacy.Messages ||
+		armed.Retries != 0 {
+		t.Errorf("armed-but-idle fault config changed the run:\n got %+v\nwant %+v", armed, legacy)
+	}
+}
+
+// TestFaultedRunDeterministicAcrossGOMAXPROCS is the seed-discipline
+// regression for the fault subsystem: a stochastically faulted execution —
+// crashes, retries, aborts and all — must be a pure function of the seed,
+// independent of host parallelism.
+func TestFaultedRunDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	run := func() Result {
+		cfg := chainConfig(t, 2, 1, workload.Moderate, true)
+		cfg.Faults = &faults.Config{
+			Seed:     5,
+			SiteMTBF: 3,
+			SiteMTTR: 1,
+		}
+		res, err := Run(cfg, annotate(leftDeepChain(2), plan.QueryShipping))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	old := runtime.GOMAXPROCS(1)
+	ref := run()
+	runtime.GOMAXPROCS(8)
+	got := run()
+	runtime.GOMAXPROCS(old)
+	if !reflect.DeepEqual(got, ref) {
+		t.Errorf("faulted Result diverged across GOMAXPROCS:\n got %+v\nwant %+v", got, ref)
+	}
+	if ref.Retries < 1 {
+		t.Errorf("Retries = %d; the MTBF is too long to exercise the retry counters", ref.Retries)
+	}
+}

@@ -37,9 +37,10 @@ type scanOp struct {
 
 	window int         // pages already paid for (I/O and CPU) but not yet emitted
 	reply  *sim.Buffer // reusable page-fault reply channel
+	att    *attemptState
 }
 
-func (e *engine) newScan(rel string, at catalog.SiteID) *scanOp {
+func (e *engine) newScan(rel string, at catalog.SiteID, att *attemptState) *scanOp {
 	r := e.cfg.Catalog.MustRelation(rel)
 	s := &scanOp{
 		e:        e,
@@ -48,6 +49,7 @@ func (e *engine) newScan(rel string, at catalog.SiteID) *scanOp {
 		relPages: r.Pages(e.cfg.Params.PageSize),
 		tpp:      tuplesPerPage(e.cfg.Params.PageSize, r.TupleBytes),
 		home:     e.site(r.Home),
+		att:      att,
 	}
 	if at == catalog.Client {
 		s.cachedPages = e.cfg.Catalog.CachedPages(rel)
@@ -79,6 +81,9 @@ func (s *scanOp) fill(p *sim.Proc) {
 	switch {
 	case s.atSite.id != catalog.Client:
 		// Primary-copy scan: sequential read of the relation extent.
+		if s.att != nil && !s.atSite.up {
+			s.att.failFrom(p, reasonSiteDown)
+		}
 		s.atSite.chargeCPU(p, params, params.DiskInst*float64(n))
 		s.atSite.readRun(p, s.atSite.extents[s.rel].plus(pg), n)
 	case pg < s.cachedPages:
@@ -91,13 +96,25 @@ func (s *scanOp) fill(p *sim.Proc) {
 	default:
 		// Page fault: synchronous request/response with the home server.
 		// The paper notes DS pays for the lack of overlap here (§4.2.3).
+		// Under fault injection the round trip is bounded by a watchdog: a
+		// server that died (or a partitioned link) just never answers, and
+		// only the timeout can tell that apart from queueing delay.
 		if s.reply == nil {
 			s.reply = sim.NewBuffer(s.e.sim, "fault-reply", 1)
+		}
+		if s.att != nil {
+			if !s.home.up {
+				s.att.failFrom(p, reasonSiteDown)
+			}
+			s.att.beginFetch()
 		}
 		s.atSite.chargeCPU(p, params, params.msgCPUInstr(ctrlMsgBytes))
 		s.e.net.Transmit(p, ctrlMsgBytes, false)
 		s.home.pager.fetchRun(p, s.home.extents[s.rel].plus(pg), n, s.reply)
 		s.atSite.chargeCPU(p, params, params.msgCPUInstr(n*params.PageSize))
+		if s.att != nil {
+			s.att.endFetch()
+		}
 	}
 	s.window = n
 }
@@ -321,13 +338,14 @@ type netPair struct {
 	child    iterator
 	buf      *sim.Buffer
 	started  bool
+	att      *attemptState
 
 	pending []page // unpacked remainder of the last received run
 	pos     int
 }
 
-func (e *engine) newNetPair(child iterator, from, to catalog.SiteID) *netPair {
-	return &netPair{e: e, from: e.site(from), to: e.site(to), child: child}
+func (e *engine) newNetPair(child iterator, from, to catalog.SiteID, att *attemptState) *netPair {
+	return &netPair{e: e, from: e.site(from), to: e.site(to), child: child, att: att}
 }
 
 func (n *netPair) open(p *sim.Proc) {
@@ -337,7 +355,7 @@ func (n *netPair) open(p *sim.Proc) {
 	n.started = true
 	n.buf = sim.NewBuffer(n.e.sim, "net", n.e.cfg.Params.lookahead())
 	params := n.e.cfg.Params
-	n.e.sim.SpawnDaemonLazy(func() string { return fmt.Sprintf("send:%d->%d", n.from.id, n.to.id) }, func(pp *sim.Proc) {
+	body := func(pp *sim.Proc) {
 		n.child.open(pp)
 		batch := params.batch()
 		var run []page
@@ -369,7 +387,28 @@ func (n *netPair) open(p *sim.Proc) {
 		}
 		n.child.close(pp)
 		n.buf.Close()
-	})
+	}
+	if att := n.att; att != nil {
+		// Supervised producer: a cancellation unwinding this daemon (its
+		// own failFrom, or the attempt's teardown) is absorbed here — and
+		// converted into an abort of the attempt if one isn't in progress.
+		inner := body
+		body = func(pp *sim.Proc) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(sim.Interrupted); !ok {
+						panic(r)
+					}
+					att.abort(reasonHelper)
+				}
+			}()
+			inner(pp)
+		}
+	}
+	pr := n.e.sim.SpawnDaemonLazy(func() string { return fmt.Sprintf("send:%d->%d", n.from.id, n.to.id) }, body)
+	if n.att != nil {
+		n.att.addHelper(pr)
+	}
 }
 
 func (n *netPair) next(p *sim.Proc) (page, bool) {
@@ -422,6 +461,12 @@ func newPageServer(e *engine, s *site) *pageServer {
 				return
 			}
 			r := v.(pageReq)
+			if !ps.s.up {
+				// The server crashed with this request queued: it is simply
+				// lost. The requester's attempt has been aborted by the
+				// crash hook (or will be by its fetch watchdog).
+				continue
+			}
 			ps.s.chargeCPU(p, params, params.msgCPUInstr(ctrlMsgBytes)) // receive request
 			ps.s.chargeCPU(p, params, params.DiskInst*float64(r.pages))
 			ps.s.readRun(p, r.addr, r.pages)

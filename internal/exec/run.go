@@ -52,21 +52,31 @@ func RunBound(cfg Config, root *plan.Node, binding plan.Binding) (Result, error)
 		return Result{}, bindErr
 	}
 
-	child := e.build(root.Left, binding, binding[root])
-	display := &displayOp{e: e, child: child}
-
-	var finished float64
+	var (
+		finished float64
+		out      queryOutcome
+		runErr   error
+	)
 	e.sim.Spawn("query", func(p *sim.Proc) {
-		display.run(p)
+		out, runErr = e.runQuery(p, 0, root, binding)
 		finished = e.sim.Now()
 	})
 	e.sim.Run()
+	if runErr != nil {
+		return Result{}, runErr
+	}
 
 	res := Result{
 		ResponseTime: finished,
-		ResultTuples: display.tuples,
+		ResultTuples: out.tuples,
 		NetStats:     e.net.Stats(),
 		DiskStats:    make(map[catalog.SiteID]disk.Stats),
+		Retries:      out.retries,
+		AbortedWork:  out.abortedWork,
+		BackoffTime:  out.backoffTime,
+	}
+	if e.inj != nil {
+		res.FaultStats = e.inj.Stats()
 	}
 	res.PagesSent = res.NetStats.DataPages
 	res.Messages = res.NetStats.Messages
@@ -79,29 +89,30 @@ func RunBound(cfg Config, root *plan.Node, binding plan.Binding) (Result, error)
 
 // build converts a plan subtree into an iterator running at consumerSite's
 // process, inserting a network operator pair wherever a producer is bound to
-// a different site than its consumer (§3.2.1).
-func (e *engine) build(n *plan.Node, b plan.Binding, consumerSite catalog.SiteID) iterator {
+// a different site than its consumer (§3.2.1). att supervises the attempt in
+// a failure-aware run; it is nil on the fault-free path.
+func (e *engine) build(n *plan.Node, b plan.Binding, consumerSite catalog.SiteID, att *attemptState) iterator {
 	site := b[n]
 	var it iterator
 	switch n.Kind {
 	case plan.KindScan:
-		it = e.newScan(n.Table, site)
+		it = e.newScan(n.Table, site, att)
 	case plan.KindSelect:
-		child := e.build(n.Left, b, site)
+		child := e.build(n.Left, b, site, att)
 		it = e.newSelect(n.Rel, site, child)
 	case plan.KindAgg:
-		child := e.build(n.Left, b, site)
+		child := e.build(n.Left, b, site, att)
 		it = e.newAgg(site, child)
 	case plan.KindJoin:
-		inner := e.build(n.Left, b, site)
-		outer := e.build(n.Right, b, site)
+		inner := e.build(n.Left, b, site, att)
+		outer := e.build(n.Right, b, site, att)
 		it = e.newHHJoin(site, inner, outer, n.Left.BaseTables(), n.Right.BaseTables(),
 			e.estPages(n.Left), e.estPages(n.Right))
 	default:
 		panic(fmt.Sprintf("exec: cannot build operator for %v", n.Kind))
 	}
 	if site != consumerSite {
-		it = e.newNetPair(it, site, consumerSite)
+		it = e.newNetPair(it, site, consumerSite, att)
 	}
 	return it
 }
@@ -161,6 +172,11 @@ type MultiResult struct {
 type QueryResult struct {
 	ResponseTime float64 // from the query's submission to its last tuple
 	ResultTuples int64
+
+	// Failure-awareness counters; zero when faults are disabled.
+	Retries     int64
+	AbortedWork float64
+	BackoffTime float64
 }
 
 // RunMulti executes several instances of the same query concurrently in one
@@ -179,6 +195,7 @@ func RunMulti(cfg Config, queries []QueryRun) (MultiResult, error) {
 		return MultiResult{}, err
 	}
 	results := make([]QueryResult, len(queries))
+	errs := make([]error, len(queries))
 	for i, qr := range queries {
 		if qr.Start < 0 {
 			return MultiResult{}, fmt.Errorf("exec: query %d has negative start time", i)
@@ -197,15 +214,26 @@ func RunMulti(cfg Config, queries []QueryRun) (MultiResult, error) {
 			}
 			// Operators are built at submission time, so temp extents are
 			// allocated in arrival order like a real shared system.
-			display := &displayOp{e: e, child: e.build(qr.Plan.Left, binding, binding[qr.Plan])}
-			display.run(p)
+			out, err := e.runQuery(p, i, qr.Plan, binding)
+			if err != nil {
+				errs[i] = err
+				return
+			}
 			results[i] = QueryResult{
 				ResponseTime: e.sim.Now() - qr.Start,
-				ResultTuples: display.tuples,
+				ResultTuples: out.tuples,
+				Retries:      out.retries,
+				AbortedWork:  out.abortedWork,
+				BackoffTime:  out.backoffTime,
 			}
 		})
 	}
 	elapsed := e.sim.Run()
+	for _, err := range errs {
+		if err != nil {
+			return MultiResult{}, err
+		}
+	}
 	st := e.net.Stats()
 	return MultiResult{
 		PerQuery:     results,

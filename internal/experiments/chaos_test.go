@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestChaosIdenticalAcrossGOMAXPROCS extends the harness determinism
+// regression to the fault-injection grid: crash schedules, retries, backoff
+// jitter and aborted-work accounting are all seed-derived, so the rendered
+// chaos figures must be byte-identical at any parallelism.
+func TestChaosIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	cfg := Config{Reps: 2, Seed: 17, Quick: true}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	render := func() string {
+		figs, err := cfg.Chaos()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out string
+		for _, f := range figs {
+			out += f.String() + "\n"
+		}
+		return out
+	}
+	runtime.GOMAXPROCS(1)
+	seq := render()
+	runtime.GOMAXPROCS(8)
+	par := render()
+	if seq != par {
+		t.Errorf("chaos output differs between GOMAXPROCS=1 and 8:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}
+
+// TestChaosHybridNoWorseThanBest is the grid's acceptance property: at every
+// tested MTBF the hybrid policy's mean response time is no worse than the
+// better of pure data and query shipping (small tolerance for CI noise —
+// runs are seed-paired across policies, so the comparison is tight).
+func TestChaosHybridNoWorseThanBest(t *testing.T) {
+	figs, err := Config{Reps: 3, Seed: 1, Quick: true}.Chaos()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := figs[0]
+	var ds, qs, hy *Series
+	for i := range rt.Series {
+		switch rt.Series[i].Name {
+		case "DS":
+			ds = &rt.Series[i]
+		case "QS":
+			qs = &rt.Series[i]
+		case "HY":
+			hy = &rt.Series[i]
+		}
+	}
+	if ds == nil || qs == nil || hy == nil {
+		t.Fatalf("missing series in %v", rt.Series)
+	}
+	for i, p := range hy.Points {
+		best := ds.Points[i].Mean
+		if qs.Points[i].Mean < best {
+			best = qs.Points[i].Mean
+		}
+		if p.Mean > best*1.02 {
+			t.Errorf("MTBF %g: HY mean %.2f worse than best pure policy %.2f", p.X, p.Mean, best)
+		}
+	}
+}

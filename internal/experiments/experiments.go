@@ -15,6 +15,7 @@ import (
 	"hybridship/internal/catalog"
 	"hybridship/internal/cost"
 	"hybridship/internal/exec"
+	"hybridship/internal/faults"
 	"hybridship/internal/opt"
 	"hybridship/internal/plan"
 	"hybridship/internal/query"
@@ -107,6 +108,7 @@ type run struct {
 	optSeed  int64
 	simSeed  int64
 	leftDeep bool
+	faults   *faults.Config // fault environment of the execution; nil = none
 }
 
 // costParams builds the optimizer's view, translating external load into
@@ -137,6 +139,7 @@ func (r run) execConfig() exec.Config {
 		Next:       r.next,
 		ServerLoad: r.load,
 		Seed:       r.simSeed,
+		Faults:     r.faults,
 	}
 }
 

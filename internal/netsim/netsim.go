@@ -6,7 +6,11 @@
 // wire and for traffic statistics.
 package netsim
 
-import "hybridship/internal/sim"
+import (
+	"fmt"
+
+	"hybridship/internal/sim"
+)
 
 // Stats aggregates network traffic counters.
 type Stats struct {
@@ -21,6 +25,15 @@ type Network struct {
 	link      *sim.Resource
 	bandwidth float64 // bits per second
 	stats     Stats
+
+	// Fault state, driven by internal/faults through the engine's hooks.
+	// degrade multiplies transfer times (1 = healthy); down blocks new
+	// transmissions until the link comes back up. A transfer already on the
+	// wire when an outage starts completes — the model cuts admission, not
+	// in-flight signal propagation.
+	degrade float64
+	down    bool
+	waiters []sim.Ref // processes blocked on a down link
 }
 
 // New creates a network with the given bandwidth in bits per second.
@@ -28,7 +41,7 @@ func New(s *sim.Simulator, bitsPerSec float64) *Network {
 	if bitsPerSec <= 0 {
 		panic("netsim: bandwidth must be positive")
 	}
-	return &Network{link: sim.NewResource(s, "net", 1), bandwidth: bitsPerSec}
+	return &Network{link: sim.NewResource(s, "net", 1), bandwidth: bitsPerSec, degrade: 1}
 }
 
 // TransferTime returns the time on the wire for a message of the given size.
@@ -38,9 +51,18 @@ func (n *Network) TransferTime(bytes int) float64 {
 
 // Transmit occupies the link for the duration of a message of the given size.
 // isDataPage marks transfers of full data pages, which are the unit of the
-// paper's "pages sent" communication metric.
+// paper's "pages sent" communication metric. A message must have a positive
+// size: zero or negative bytes indicate a caller bug (a zero-byte "message"
+// would silently occupy the link for no time and skew the traffic counters),
+// so Transmit panics rather than guessing.
 func (n *Network) Transmit(p *sim.Proc, bytes int, isDataPage bool) {
-	t := n.TransferTime(bytes)
+	if bytes <= 0 {
+		panic(fmt.Sprintf("netsim: Transmit of non-positive message size %d bytes", bytes))
+	}
+	if n.down {
+		n.awaitUp(p)
+	}
+	t := n.TransferTime(bytes) * n.degrade
 	n.stats.Messages++
 	n.stats.Bytes += int64(bytes)
 	n.stats.WireTime += t
@@ -54,17 +76,62 @@ func (n *Network) Transmit(p *sim.Proc, bytes int, isDataPage bool) {
 // pages of pageBytes each, sent back to back as one link occupancy. The
 // traffic counters still record count messages and count data pages, so the
 // paper's "pages sent" metric is independent of the batching granularity;
-// only the number of kernel-level link acquisitions shrinks.
+// only the number of kernel-level link acquisitions shrinks. An empty run
+// (count == 0) is a no-op; a negative count or a non-positive page size is a
+// caller bug and panics.
 func (n *Network) TransmitPages(p *sim.Proc, pageBytes, count int) {
-	if count <= 0 {
+	if pageBytes <= 0 {
+		panic(fmt.Sprintf("netsim: TransmitPages with non-positive page size %d bytes", pageBytes))
+	}
+	if count < 0 {
+		panic(fmt.Sprintf("netsim: TransmitPages with negative page count %d", count))
+	}
+	if count == 0 {
 		return
 	}
-	t := n.TransferTime(pageBytes) * float64(count)
+	if n.down {
+		n.awaitUp(p)
+	}
+	t := n.TransferTime(pageBytes) * float64(count) * n.degrade
 	n.stats.Messages += int64(count)
 	n.stats.Bytes += int64(pageBytes) * int64(count)
 	n.stats.WireTime += t
 	n.stats.DataPages += int64(count)
 	n.link.Use(p, t)
+}
+
+// awaitUp blocks the caller until the link leaves the down state. Callers
+// queue as Refs so an interrupted (unwound) waiter is skipped at wake time.
+func (n *Network) awaitUp(p *sim.Proc) {
+	for n.down {
+		n.waiters = append(n.waiters, p.Ref())
+		p.Block()
+	}
+}
+
+// SetDown switches the link's outage state. Bringing the link up wakes every
+// blocked sender; they reacquire the link in their original FIFO order.
+func (n *Network) SetDown(down bool) {
+	n.down = down
+	if !down {
+		for _, w := range n.waiters {
+			w.Unblock()
+		}
+		n.waiters = n.waiters[:0]
+	}
+}
+
+// Down reports whether the link is currently in an outage.
+func (n *Network) Down() bool { return n.down }
+
+// SetDegrade sets the transfer-time multiplier modelling degraded bandwidth
+// (factor 2 = half bandwidth). Factor 1 restores full speed; factors below 1
+// are rejected, as faults must not make the link faster than configured.
+func (n *Network) SetDegrade(factor float64) {
+	if factor < 1 {
+		panic(fmt.Sprintf("netsim: degrade factor %g < 1", factor))
+	}
+	n.degrade = factor
 }
 
 // Stats returns a copy of the traffic counters.

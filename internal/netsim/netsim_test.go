@@ -70,3 +70,105 @@ func TestInvalidBandwidthPanics(t *testing.T) {
 	}()
 	New(sim.New(), 0)
 }
+
+// mustPanic runs f and reports whether it panicked, returning the value.
+func mustPanic(t *testing.T, what string, f func()) (v any) {
+	t.Helper()
+	defer func() {
+		v = recover()
+		if v == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	f()
+	return
+}
+
+// TestTransmitRejectsNonPositiveSizes pins the input-validation contract: a
+// zero- or negative-byte message is a caller bug and must panic loudly, not
+// silently occupy the link for zero time.
+func TestTransmitRejectsNonPositiveSizes(t *testing.T) {
+	s := sim.New()
+	n := New(s, 100e6)
+	s.Spawn("sender", func(p *sim.Proc) {
+		mustPanic(t, "Transmit(0 bytes)", func() { n.Transmit(p, 0, false) })
+		mustPanic(t, "Transmit(-1 bytes)", func() { n.Transmit(p, -1, true) })
+		mustPanic(t, "TransmitPages(page size 0)", func() { n.TransmitPages(p, 0, 3) })
+		mustPanic(t, "TransmitPages(negative count)", func() { n.TransmitPages(p, 4096, -1) })
+		n.TransmitPages(p, 4096, 0) // an empty run is a legal no-op
+	})
+	end := s.Run()
+	if end != 0 {
+		t.Errorf("rejected transmits advanced the clock to %g", end)
+	}
+	if st := n.Stats(); st.Messages != 0 || st.Bytes != 0 {
+		t.Errorf("rejected transmits counted traffic: %+v", st)
+	}
+}
+
+// TestUtilizationZeroElapsed pins the division guard: at virtual time zero
+// (and for nonsensical negative times) utilization reports 0, not NaN/Inf.
+func TestUtilizationZeroElapsed(t *testing.T) {
+	s := sim.New()
+	n := New(s, 100e6)
+	if u := n.Utilization(0); u != 0 {
+		t.Errorf("Utilization(0) = %g, want 0", u)
+	}
+	if u := n.Utilization(-1); u != 0 {
+		t.Errorf("Utilization(-1) = %g, want 0", u)
+	}
+}
+
+// TestOutageBlocksNewTransfers checks the link's down state: a transmission
+// arriving during an outage waits for restoration, and the wire time it is
+// charged is unchanged (the outage delays, it does not stretch, transfers).
+func TestOutageBlocksNewTransfers(t *testing.T) {
+	s := sim.New()
+	n := New(s, 100e6)
+	per := n.TransferTime(4096)
+	var done float64
+	s.Spawn("ops", func(p *sim.Proc) {
+		n.SetDown(true)
+		if !n.Down() {
+			t.Error("Down() = false after SetDown(true)")
+		}
+		p.Hold(2)
+		n.SetDown(false)
+	})
+	s.Spawn("sender", func(p *sim.Proc) {
+		p.Hold(1) // arrive mid-outage
+		n.Transmit(p, 4096, true)
+		done = s.Now()
+	})
+	s.Run()
+	want := 2 + per
+	if diff := done - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("transfer finished at %g, want %g (restore time + wire time)", done, want)
+	}
+}
+
+// TestDegradeStretchesTransfers checks bandwidth degradation: factor k
+// multiplies transfer time, factor 1 restores it, and factors below 1 are
+// rejected.
+func TestDegradeStretchesTransfers(t *testing.T) {
+	s := sim.New()
+	n := New(s, 100e6)
+	per := n.TransferTime(4096)
+	var first, second float64
+	s.Spawn("sender", func(p *sim.Proc) {
+		n.SetDegrade(4)
+		n.Transmit(p, 4096, true)
+		first = s.Now()
+		n.SetDegrade(1)
+		n.Transmit(p, 4096, true)
+		second = s.Now()
+		mustPanic(t, "SetDegrade(0.5)", func() { n.SetDegrade(0.5) })
+	})
+	s.Run()
+	if diff := first - 4*per; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("degraded transfer took %g, want %g", first, 4*per)
+	}
+	if diff := (second - first) - per; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("restored transfer took %g, want %g", second-first, per)
+	}
+}

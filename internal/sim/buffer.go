@@ -11,8 +11,8 @@ type Buffer struct {
 	items    []any
 	closed   bool
 
-	getters []*Proc // blocked consumers, FIFO
-	putters []*Proc // blocked producers, FIFO
+	getters []Ref // blocked consumers, FIFO
+	putters []Ref // blocked producers, FIFO
 }
 
 // NewBuffer creates a buffer holding at most capacity items.
@@ -28,7 +28,7 @@ func NewBuffer(s *Simulator, name string, capacity int) *Buffer {
 // Putting to a closed buffer panics.
 func (b *Buffer) Put(p *Proc, item any) {
 	for len(b.items) >= b.capacity {
-		b.putters = append(b.putters, p)
+		b.putters = append(b.putters, p.Ref())
 		p.Block()
 	}
 	if b.closed {
@@ -42,7 +42,7 @@ func (b *Buffer) Put(p *Proc, item any) {
 // result is false when the buffer is closed and drained.
 func (b *Buffer) Get(p *Proc) (any, bool) {
 	for len(b.items) == 0 && !b.closed {
-		b.getters = append(b.getters, p)
+		b.getters = append(b.getters, p.Ref())
 		p.Block()
 	}
 	if len(b.items) == 0 {
@@ -62,7 +62,7 @@ func (b *Buffer) Close() {
 	}
 	b.closed = true
 	for _, g := range b.getters {
-		g.Unblock()
+		g.Unblock() // no-op for getters that unwound since queueing
 	}
 	b.getters = nil
 }
@@ -73,18 +73,26 @@ func (b *Buffer) Len() int { return len(b.items) }
 // Closed reports whether Close has been called.
 func (b *Buffer) Closed() bool { return b.closed }
 
+// wakeGetter wakes the longest-waiting live consumer, skipping queue entries
+// whose process has unwound since queueing (stale Refs).
 func (b *Buffer) wakeGetter() {
-	if len(b.getters) > 0 {
+	for len(b.getters) > 0 {
 		g := b.getters[0]
 		b.getters = b.getters[1:]
-		g.Unblock()
+		if g.Valid() {
+			g.Unblock()
+			return
+		}
 	}
 }
 
 func (b *Buffer) wakePutter() {
-	if len(b.putters) > 0 {
+	for len(b.putters) > 0 {
 		w := b.putters[0]
 		b.putters = b.putters[1:]
-		w.Unblock()
+		if w.Valid() {
+			w.Unblock()
+			return
+		}
 	}
 }

@@ -9,7 +9,7 @@ type Resource struct {
 	name    string
 	servers int
 	inUse   int
-	waiters []*Proc
+	waiters []Ref
 
 	// accounting
 	busy     Time // total busy server-seconds
@@ -36,30 +36,43 @@ func (r *Resource) Acquire(p *Proc) {
 		r.inUse++
 		return
 	}
-	r.waiters = append(r.waiters, p)
+	r.waiters = append(r.waiters, p.Ref())
 	p.Block()
 }
 
 // Release frees one server, waking the longest-waiting process, if any.
+// Waiters that unwound (were interrupted) since queueing are skipped: their
+// generation bump invalidated the Ref.
 func (r *Resource) Release(p *Proc) {
 	if r.inUse <= 0 {
 		panic("sim: release of idle resource " + r.name)
 	}
-	if len(r.waiters) > 0 {
+	for len(r.waiters) > 0 {
 		next := r.waiters[0]
 		r.waiters = r.waiters[1:]
-		next.Unblock()
-		// The server passes directly to the waiter; inUse is unchanged.
-		return
+		if next.Valid() {
+			next.Unblock()
+			// The server passes directly to the waiter; inUse is unchanged.
+			return
+		}
 	}
 	r.inUse--
 }
 
 // Use acquires the resource, holds it busy for dt, and releases it. This is
 // the common pattern for charging CPU time or network wire time.
+//
+// In an armed (interruptible) simulation the release is deferred, so a
+// holder unwound mid-hold by Interrupt still frees its server. Unarmed
+// simulations keep the straight-line path with no defer.
 func (r *Resource) Use(p *Proc, dt Time) {
 	r.Acquire(p)
 	r.busy += dt
+	if r.sim.armed {
+		defer r.Release(p)
+		p.Hold(dt)
+		return
+	}
 	p.Hold(dt)
 	r.Release(p)
 }

@@ -37,6 +37,7 @@ type Simulator struct {
 	daemons []*Proc       // live daemon processes (terminated when Run drains)
 	free    []*Proc       // finished processes whose goroutines await reuse
 	failure any           // panic value captured from a process goroutine
+	armed   bool          // process cancellation enabled (see ArmInterrupts)
 
 	// Trace, when non-nil, receives a line per kernel dispatch. Intended for
 	// debugging tests only. Setting Trace disables the in-place Hold fast
@@ -135,6 +136,9 @@ type Proc struct {
 	done      bool
 	daemon    bool
 	terminate bool
+
+	intr       bool   // undelivered interrupt pending (see Interrupt)
+	intrReason string // carried into the Interrupted sentinel
 }
 
 // terminated is the sentinel panic used to unwind daemon processes when the
@@ -192,6 +196,7 @@ func (s *Simulator) spawn(name string, namef func() string, body func(p *Proc), 
 		p.gen++
 		p.name, p.namef, p.body = name, namef, body
 		p.done, p.daemon, p.terminate = false, daemon, false
+		p.intr, p.intrReason = false, "" // a prior body may have finished with an undelivered interrupt
 	} else {
 		p = &Proc{sim: s, name: name, namef: namef, wake: make(chan struct{}), body: body, daemon: daemon}
 		go s.worker(p)
@@ -239,7 +244,12 @@ func (s *Simulator) worker(p *Proc) {
 func (s *Simulator) runBody(p *Proc) {
 	defer func() {
 		if r := recover(); r != nil {
-			if _, ok := r.(terminated); !ok {
+			switch r.(type) {
+			case terminated:
+			case Interrupted:
+				// An uncaught cancellation simply tears the process down:
+				// its in-flight work is abandoned, not a kernel failure.
+			default:
 				// Hand the panic to the kernel goroutine, which re-panics
 				// from Run so callers (and tests) can recover it.
 				//hslint:allow simhot -- runs only when a process panics; cold by definition
@@ -296,12 +306,21 @@ func (s *Simulator) Run() Time {
 	return s.now
 }
 
-// park releases control to the kernel and blocks until resumed.
+// park releases control to the kernel and blocks until resumed. Pending
+// interrupts are delivered here: the process unwinds with the Interrupted
+// sentinel instead of resuming, and its generation bump invalidates every
+// pending event and queue Ref it left behind.
 func (p *Proc) park() {
 	p.sim.parked <- struct{}{}
 	<-p.wake
 	if p.terminate {
 		panic(terminated{})
+	}
+	if p.intr {
+		reason := p.intrReason
+		p.intr, p.intrReason = false, ""
+		p.gen++
+		panic(Interrupted{Reason: reason})
 	}
 }
 

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Snapshot the fault-injection overhead benchmarks into BENCH_faults.json.
+#
+# The suite brackets the cost of fault-capability:
+#
+#   - BenchmarkHoldFastPath / BenchmarkHoldFastPathArmed: the sim kernel's
+#     uncontended event fast path, unarmed vs armed for interrupts. Both
+#     must report 0 allocs/op and near-identical ns/op — arming adds no
+#     hot-path branch.
+#   - BenchmarkRun10WayQS / BenchmarkRun10WayQSFaultsArmed: a full query,
+#     fault-free vs armed-but-idle (the only scripted fault lies beyond the
+#     end of the run). The delta is the standing price of supervised
+#     attempts and interruptible waits.
+#   - BenchmarkRun2WayQSFaultsChaos: a short query under live stochastic
+#     crashes — what an actually-faulted execution costs.
+#
+# Usage: scripts/bench_faults.sh  (from the repo root; writes BENCH_faults.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+{
+	go test ./internal/sim/ -run '^$' -bench 'HoldFastPath' -benchmem
+	go test ./internal/exec/ -run '^$' -bench 'Run10WayQS$|Faults' -benchmem -benchtime 3x
+} | go run ./cmd/benchsnap -o BENCH_faults.json
+
+echo "wrote BENCH_faults.json"

@@ -7,7 +7,10 @@
 # interval — fails the diff.
 #
 # The rerun takes a few minutes; pass "all" (the default) for just the ten
-# figures, or "full" to also rerun the extensions and ablations.
+# figures, or "full" to also rerun the extensions, ablations and the chaos
+# (fault-injection) grid. The default mode doubles as the fault-subsystem
+# no-op proof: "csq run all" never enables injection, so a byte-identical
+# diff shows the fault machinery changed nothing while disabled.
 #
 # Usage: scripts/regress_output.sh [all|full]
 set -eu
@@ -29,7 +32,7 @@ figures() { sed '/^Extension/,$d' "$1"; }
 "$tmp/csq" run -reps 5 -seed 1996 all >"$tmp/out.txt"
 if [ "$mode" = "full" ]; then
 	"$tmp/csq" run -reps 3 -seed 7 crossover star aggregate multiquery \
-		lookahead writecache elevator commutativity >>"$tmp/out.txt"
+		lookahead writecache elevator commutativity chaos >>"$tmp/out.txt"
 	strip results_full.txt >"$tmp/golden.txt"
 	strip "$tmp/out.txt" >"$tmp/got.txt"
 else
