@@ -72,7 +72,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   csq list
-  csq run [-reps N] [-seed S] [-quick] <fig2|fig3|...|fig9|fig10|fig11|chaos|all>...`)
+  csq run [-reps N] [-seed S] [-quick] [-v] <fig2|fig3|...|fig9|fig10|fig11|chaos|overload|all>...`)
 }
 
 func list() {
@@ -80,7 +80,7 @@ func list() {
 	for n := range figures {
 		names = append(names, n)
 	}
-	names = append(names, "fig9", "chaos")
+	names = append(names, "fig9", "chaos", "overload")
 	sort.Strings(names)
 	for _, n := range names {
 		switch n {
@@ -88,6 +88,8 @@ func list() {
 			fmt.Printf("  %-14s %s\n", n, "communication of static vs 2-step plans after data migration")
 		case "chaos":
 			fmt.Printf("  %-14s %s\n", n, "fault injection: response time and goodput vs site MTBF")
+		case "overload":
+			fmt.Printf("  %-14s %s\n", n, "serving layer: goodput and tail latency vs offered load, on/off")
 		default:
 			fmt.Printf("  %-14s %s\n", n, figures[n].desc)
 		}
@@ -107,6 +109,7 @@ func runCmd(args []string) {
 	reps := fs.Int("reps", 5, "repetitions per data point")
 	seed := fs.Int64("seed", 42, "random seed")
 	quick := fs.Bool("quick", false, "thin the parameter sweeps")
+	verbose := fs.Bool("v", false, "verbose: per-cell counters and degradation transitions (overload)")
 	fs.Parse(args)
 
 	targets := fs.Args()
@@ -115,9 +118,10 @@ func runCmd(args []string) {
 		os.Exit(2)
 	}
 	if len(targets) == 1 && targets[0] == "all" {
-		// The chaos grid is not part of "all": the committed figure record
-		// (results_full.txt's default section) stays exactly the paper's
-		// fault-free reproduction. Run it explicitly with `csq run chaos`.
+		// The chaos and overload grids are not part of "all": the committed
+		// figure record (results_full.txt's default section) stays exactly
+		// the paper's fault-free reproduction. Run them explicitly with
+		// `csq run chaos` / `csq run overload`.
 		targets = []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
 	}
 	cfg := experiments.Config{Reps: *reps, Seed: *seed, Quick: *quick}
@@ -149,6 +153,13 @@ func runCmd(args []string) {
 			fmt.Printf("  [%s]\n\n", time.Since(start).Round(time.Millisecond))
 			continue
 		}
+		if strings.EqualFold(name, "overload") {
+			if err := runOverload(cfg, *verbose, start); err != nil {
+				fmt.Fprintf(os.Stderr, "overload: %v\n", err)
+				os.Exit(1)
+			}
+			continue
+		}
 		if a, ok := ablations[strings.ToLower(name)]; ok {
 			rows, err := a.run(cfg)
 			if err != nil {
@@ -175,4 +186,34 @@ func runCmd(args []string) {
 		fmt.Println(fig)
 		fmt.Printf("  [%s]\n\n", time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runOverload prints the serving-layer grid: the goodput and tail-latency
+// figures, the aggregated shed/expire/degrade counters per cell, and — with
+// -v — the degradation-level transitions of each cell's first repetition.
+func runOverload(cfg experiments.Config, verbose bool, start time.Time) error {
+	rep, err := cfg.Overload()
+	if err != nil {
+		return err
+	}
+	for _, fig := range rep.Figures {
+		fmt.Println(fig)
+	}
+	fmt.Println("Overload cells (summed over reps): offered/rejected/completed/expired/failed,")
+	fmt.Println("degraded admissions, granted retries, breaker opens")
+	levels := []string{"fresh", "cached", "static"}
+	for _, cl := range rep.Cells {
+		fmt.Printf("  mtbf=%-4g %-3s %-3s load=%-4g off=%-4d rej=%-4d comp=%-4d exp=%-4d fail=%-4d degr=%-4d retry=%-3d open=%d\n",
+			cl.MTBF, cl.Policy, cl.Mode, cl.Load,
+			cl.Offered, cl.Rejected, cl.Completed, cl.Expired, cl.Failed,
+			cl.Degraded, cl.RetriesGranted, cl.BreakerOpens)
+		if verbose {
+			for _, tr := range cl.Transitions {
+				fmt.Printf("      t=%8.3fs  %s -> %s  (queue depth %d)\n",
+					tr.At, levels[tr.From], levels[tr.To], tr.Depth)
+			}
+		}
+	}
+	fmt.Printf("  [%s]\n\n", time.Since(start).Round(time.Millisecond))
+	return nil
 }

@@ -251,6 +251,11 @@ type engine struct {
 	ftl      *failoverParams
 	inj      *faults.Injector
 	attempts []*attemptState // in-flight attempts, consulted by crash hooks
+
+	// Serving-layer hooks, set only through NewSession; nil on every other
+	// path so Run/RunBound/RunMulti behave exactly as before.
+	siteGate  SiteGate
+	retryGate RetryGate
 }
 
 func (e *engine) site(id catalog.SiteID) *site {

@@ -82,7 +82,7 @@ func (s *scanOp) fill(p *sim.Proc) {
 	case s.atSite.id != catalog.Client:
 		// Primary-copy scan: sequential read of the relation extent.
 		if s.att != nil && !s.atSite.up {
-			s.att.failFrom(p, reasonSiteDown)
+			s.att.failFromSite(p, reasonSiteDown, int(s.atSite.id))
 		}
 		s.atSite.chargeCPU(p, params, params.DiskInst*float64(n))
 		s.atSite.readRun(p, s.atSite.extents[s.rel].plus(pg), n)
@@ -104,9 +104,16 @@ func (s *scanOp) fill(p *sim.Proc) {
 		}
 		if s.att != nil {
 			if !s.home.up {
-				s.att.failFrom(p, reasonSiteDown)
+				s.att.failFromSite(p, reasonSiteDown, int(s.home.id))
 			}
-			s.att.beginFetch()
+			// A session's circuit breaker sheds the fetch before any network
+			// round trip when the home site is hard-open (another query's
+			// failures tripped it mid-attempt): a breaker-open shed is not a
+			// failure observation, so no site is attributed.
+			if g := s.e.siteGate; g != nil && g.Shed(int(s.home.id)) {
+				s.att.failFrom(p, reasonBreakerOpen)
+			}
+			s.att.beginFetch(int(s.home.id))
 		}
 		s.atSite.chargeCPU(p, params, params.msgCPUInstr(ctrlMsgBytes))
 		s.e.net.Transmit(p, ctrlMsgBytes, false)
@@ -114,6 +121,10 @@ func (s *scanOp) fill(p *sim.Proc) {
 		s.atSite.chargeCPU(p, params, params.msgCPUInstr(n*params.PageSize))
 		if s.att != nil {
 			s.att.endFetch()
+			// A completed round trip is positive evidence the home is healthy.
+			if g := s.e.siteGate; g != nil {
+				g.ReportSuccess(int(s.home.id))
+			}
 		}
 	}
 	s.window = n

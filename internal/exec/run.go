@@ -58,7 +58,7 @@ func RunBound(cfg Config, root *plan.Node, binding plan.Binding) (Result, error)
 		runErr   error
 	)
 	e.sim.Spawn("query", func(p *sim.Proc) {
-		out, runErr = e.runQuery(p, 0, root, binding)
+		out, runErr = e.runQuery(p, 0, root, binding, QueryOpts{})
 		finished = e.sim.Now()
 	})
 	e.sim.Run()
@@ -214,7 +214,7 @@ func RunMulti(cfg Config, queries []QueryRun) (MultiResult, error) {
 			}
 			// Operators are built at submission time, so temp extents are
 			// allocated in arrival order like a real shared system.
-			out, err := e.runQuery(p, i, qr.Plan, binding)
+			out, err := e.runQuery(p, i, qr.Plan, binding, QueryOpts{})
 			if err != nil {
 				errs[i] = err
 				return

@@ -1,0 +1,167 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"hybridship/internal/catalog"
+	"hybridship/internal/faults"
+	"hybridship/internal/plan"
+	"hybridship/internal/sim"
+)
+
+// The Session API exposes the execution engine to a serving layer (see
+// internal/serve): one long-lived engine whose simulation is driven by the
+// caller's own processes, executing many queries with per-query deadlines,
+// per-site circuit breakers, and a fleet-wide retry budget. Run/RunBound/
+// RunMulti stay the closed one-shot entry points; a Session is the open one.
+
+// Sentinel errors the retry loop wraps when a serving-layer limit, rather
+// than the retry cap, ends a query. Match with errors.Is.
+var (
+	ErrDeadlineExceeded     = errors.New("query deadline exceeded")
+	ErrRetryBudgetExhausted = errors.New("fleet retry budget exhausted")
+)
+
+// QueryOpts carries the per-query serving-layer options into the retry loop.
+type QueryOpts struct {
+	// Deadline is the absolute virtual time past which the query is aborted
+	// (its in-flight attempt is torn down and the wasted work accounted) and
+	// Execute returns ErrDeadlineExceeded. Zero means no deadline.
+	Deadline float64
+}
+
+// SiteGate is the serving layer's per-site circuit-breaker hook. The engine
+// consults Allow for every site a new attempt depends on, Shed before each
+// in-flight page-fault round trip, and reports attempt outcomes back. All
+// calls happen on simulation processes, in deterministic kernel order.
+type SiteGate interface {
+	// Allow reports whether a new attempt may depend on the site. It may
+	// consume a half-open probe slot, so it is called once per (attempt,
+	// site), not per operation.
+	Allow(site int) bool
+	// Shed reports whether an in-flight fetch to the site should be abandoned
+	// (breaker hard-open, no probe due). Unlike Allow it never consumes a
+	// probe slot: the probe attempt itself must be able to keep fetching.
+	Shed(site int) bool
+	// ReportSuccess records positive evidence: a completed fetch round trip
+	// or a completed attempt (for every site it depended on).
+	ReportSuccess(site int)
+	// ReportFailure records the site a failed attempt's abort was attributed
+	// to (crash, fetch timeout, or down at scan time).
+	ReportFailure(site int)
+}
+
+// RetryGate is the serving layer's fleet-wide retry budget: consulted once
+// per retry, after the failed round is counted. Returning false fails the
+// query with ErrRetryBudgetExhausted instead of backing off.
+type RetryGate interface {
+	AllowRetry() bool
+}
+
+// SessionOptions configures the serving-layer hooks of a Session.
+type SessionOptions struct {
+	Gate  SiteGate
+	Retry RetryGate
+}
+
+// Session is one long-lived engine serving many queries. The caller spawns
+// its own processes on Simulator() (arrival generators, admission workers)
+// and calls Execute from them; Run drives the simulation to completion.
+type Session struct {
+	e *engine
+}
+
+// NewSession builds the engine and arms it for serving: interrupts are always
+// armed (deadlines need them even without fault injection) and the failover
+// parameters always present, synthesized from a default faults.Config when
+// cfg.Faults is nil or disabled.
+func NewSession(cfg Config, opts SessionOptions) (*Session, error) {
+	e, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if e.ftl == nil {
+		fc := cfg.Faults
+		if fc == nil {
+			fc = &faults.Config{Seed: cfg.Seed}
+		}
+		e.ftl = newFailoverParams(fc)
+	}
+	e.siteGate = opts.Gate
+	e.retryGate = opts.Retry
+	e.sim.ArmInterrupts()
+	return &Session{e: e}, nil
+}
+
+// Simulator returns the session's simulation, for the caller's own processes.
+func (s *Session) Simulator() *sim.Simulator { return s.e.sim }
+
+// Now returns the current virtual time.
+func (s *Session) Now() float64 { return s.e.sim.Now() }
+
+// Run drives the simulation until no runnable processes remain and returns
+// the final virtual time.
+func (s *Session) Run() float64 { return s.e.sim.Run() }
+
+// NumServers returns the number of server sites in the session's catalog.
+func (s *Session) NumServers() int { return len(s.e.servers) }
+
+// ChargeClientCPU charges instr instructions against the client CPU on
+// process p — how the serving layer models query-optimization work.
+func (s *Session) ChargeClientCPU(p *sim.Proc, instr float64) {
+	s.e.client.chargeCPU(p, s.e.cfg.Params, instr)
+}
+
+// Bind validates root and binds its logical annotations to physical sites,
+// the same checks RunBound applies. Bindings are bound once at session setup
+// and reused across the queries that share the plan.
+func (s *Session) Bind(root *plan.Node) (plan.Binding, error) {
+	if root.Kind != plan.KindDisplay {
+		return nil, fmt.Errorf("exec: plan root must be display")
+	}
+	binding, err := plan.Bind(root, s.e.cfg.Catalog, catalog.Client)
+	if err != nil {
+		return nil, err
+	}
+	var bindErr error
+	root.Walk(func(n *plan.Node) {
+		site, ok := binding[n]
+		if !ok {
+			bindErr = fmt.Errorf("exec: node %v missing from binding", n.Kind)
+			return
+		}
+		if site != catalog.Client && (int(site) < 0 || int(site) >= s.e.cfg.Catalog.NumServers) {
+			bindErr = fmt.Errorf("exec: node %v bound to nonexistent site %d", n.Kind, site)
+		}
+	})
+	if bindErr != nil {
+		return nil, bindErr
+	}
+	return binding, nil
+}
+
+// Execute runs one query to completion (or failure) on the calling process,
+// which must be a process of this session's simulation. The returned
+// QueryResult is populated even on error, so the serving layer can account
+// the wasted work of expired and budget-killed queries.
+func (s *Session) Execute(p *sim.Proc, qi int, root *plan.Node, binding plan.Binding, qo QueryOpts) (QueryResult, error) {
+	start := s.e.sim.Now()
+	out, err := s.e.runQuery(p, qi, root, binding, qo)
+	return QueryResult{
+		ResponseTime: s.e.sim.Now() - start,
+		ResultTuples: out.tuples,
+		Retries:      out.retries,
+		AbortedWork:  out.abortedWork,
+		BackoffTime:  out.backoffTime,
+	}, err
+}
+
+// FaultStats reports what the session's injector actually did (zero when
+// fault injection is disabled).
+func (s *Session) FaultStats() faults.Stats {
+	if s.e.inj == nil {
+		return faults.Stats{}
+	}
+	return s.e.inj.Stats()
+}

@@ -1,0 +1,212 @@
+package exec
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hybridship/internal/faults"
+	"hybridship/internal/plan"
+	"hybridship/internal/sim"
+	"hybridship/internal/workload"
+)
+
+// runOnSession executes one query on a fresh driver process of the session.
+func runOnSession(t *testing.T, ses *Session, root *plan.Node, qo QueryOpts) (QueryResult, error) {
+	t.Helper()
+	binding, err := ses.Bind(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		qr   QueryResult
+		qerr error
+	)
+	ses.Simulator().Spawn("driver", func(p *sim.Proc) {
+		qr, qerr = ses.Execute(p, 0, root, binding, qo)
+	})
+	ses.Run()
+	return qr, qerr
+}
+
+// TestSessionFaultFreeMatchesRun checks the session path against the closed
+// one-shot entry point: same plan, same config, same answer and same virtual
+// response time, even though the session always arms interrupts and runs the
+// retry loop.
+func TestSessionFaultFreeMatchesRun(t *testing.T) {
+	root := annotate(leftDeepChain(2), plan.QueryShipping)
+	base, err := Run(chainConfig(t, 2, 1, workload.Moderate, true), root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses, err := NewSession(chainConfig(t, 2, 1, workload.Moderate, true), SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr, err := runOnSession(t, ses, root, QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qr.ResultTuples != base.ResultTuples {
+		t.Errorf("session tuples = %d, want %d", qr.ResultTuples, base.ResultTuples)
+	}
+	if qr.ResponseTime != base.ResponseTime {
+		t.Errorf("session response time = %g, want %g", qr.ResponseTime, base.ResponseTime)
+	}
+	if qr.Retries != 0 {
+		t.Errorf("fault-free session run retried %d times", qr.Retries)
+	}
+}
+
+// TestSessionDeadlineAbortsInFlightAttempt: a deadline far below the solo
+// response time kills the query mid-attempt, the wasted work is accounted,
+// and the error matches ErrDeadlineExceeded.
+func TestSessionDeadlineAbortsInFlightAttempt(t *testing.T) {
+	ses, err := NewSession(chainConfig(t, 2, 1, workload.Moderate, true), SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const deadline = 1.0
+	qr, qerr := runOnSession(t, ses, annotate(leftDeepChain(2), plan.QueryShipping), QueryOpts{Deadline: deadline})
+	if !errors.Is(qerr, ErrDeadlineExceeded) {
+		t.Fatalf("error = %v, want ErrDeadlineExceeded", qerr)
+	}
+	if qr.AbortedWork <= 0 {
+		t.Errorf("AbortedWork = %g, want > 0 (the in-flight attempt was torn down)", qr.AbortedWork)
+	}
+	if qr.ResponseTime < deadline || qr.ResponseTime > deadline+0.1 {
+		t.Errorf("ResponseTime = %g, want ~%g (abort at the deadline)", qr.ResponseTime, deadline)
+	}
+}
+
+// TestBackoffTimeCountsOnlyCompletedSleeps is the regression test for the
+// double-counting bug: BackoffTime used to accrue the full backoff before
+// the sleep, so a deadline landing mid-sleep charged the query for backoff
+// it never served. The scenario pins the exact expected value by replaying
+// the query's jitter stream: a permanent crash makes every round unrunnable,
+// so the timeline is attempt(0.5s) + d0 + d1 + interrupted d2, and only
+// d0 + d1 may be accounted.
+func TestBackoffTimeCountsOnlyCompletedSleeps(t *testing.T) {
+	cfg := chainConfig(t, 2, 1, workload.Moderate, true)
+	cfg.Faults = &faults.Config{
+		Seed:   9,
+		Script: []faults.Event{{At: 0.5, Kind: faults.SiteCrash, Site: 0}}, // permanent
+	}
+	fp := newFailoverParams(cfg.Faults)
+	rng := rand.New(rand.NewSource(retrySeed(cfg.Faults.Seed, 0)))
+	d0 := fp.backoff(0, rng)
+	d1 := fp.backoff(1, rng)
+	d2 := fp.backoff(2, rng)
+	deadline := 0.5 + d0 + d1 + 0.5*d2 // lands mid-way through the third sleep
+
+	ses, err := NewSession(cfg, SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr, qerr := runOnSession(t, ses, annotate(leftDeepChain(2), plan.QueryShipping), QueryOpts{Deadline: deadline})
+	if !errors.Is(qerr, ErrDeadlineExceeded) {
+		t.Fatalf("error = %v, want ErrDeadlineExceeded", qerr)
+	}
+	want := d0 + d1
+	if math.Abs(qr.BackoffTime-want) > 1e-9 {
+		t.Errorf("BackoffTime = %g, want %g (only completed sleeps; the interrupted d2 = %g must not count)",
+			qr.BackoffTime, want, d2)
+	}
+	if qr.Retries != 3 {
+		t.Errorf("Retries = %d, want 3", qr.Retries)
+	}
+}
+
+// deniedRetry implements RetryGate, always refusing.
+type deniedRetry struct{ asked int }
+
+func (d *deniedRetry) AllowRetry() bool { d.asked++; return false }
+
+// TestSessionRetryGateStopsRetries: with the fleet budget refusing, the
+// first failure ends the query with ErrRetryBudgetExhausted instead of
+// backing off.
+func TestSessionRetryGateStopsRetries(t *testing.T) {
+	cfg := chainConfig(t, 2, 1, workload.Moderate, true)
+	cfg.Faults = &faults.Config{
+		Seed:   9,
+		Script: []faults.Event{{At: 0.5, Kind: faults.SiteCrash, Site: 0}},
+	}
+	gate := &deniedRetry{}
+	ses, err := NewSession(cfg, SessionOptions{Retry: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr, qerr := runOnSession(t, ses, annotate(leftDeepChain(2), plan.QueryShipping), QueryOpts{})
+	if !errors.Is(qerr, ErrRetryBudgetExhausted) {
+		t.Fatalf("error = %v, want ErrRetryBudgetExhausted", qerr)
+	}
+	if gate.asked != 1 {
+		t.Errorf("retry gate consulted %d times, want 1", gate.asked)
+	}
+	if qr.Retries != 1 {
+		t.Errorf("Retries = %d, want 1", qr.Retries)
+	}
+	if qr.BackoffTime != 0 {
+		t.Errorf("BackoffTime = %g, want 0 (no retry was granted)", qr.BackoffTime)
+	}
+}
+
+// recordingGate implements SiteGate with a configurable admission answer.
+type recordingGate struct {
+	deny      bool
+	allows    int
+	successes int
+	failures  int
+}
+
+func (g *recordingGate) Allow(int) bool    { g.allows++; return !g.deny }
+func (g *recordingGate) Shed(int) bool     { return false }
+func (g *recordingGate) ReportSuccess(int) { g.successes++ }
+func (g *recordingGate) ReportFailure(int) { g.failures++ }
+
+// TestSessionSiteGateShedsBeforeAttempting: a denying gate makes every round
+// unrunnable before any work is done, so the query burns no attempt time and
+// fails with retry exhaustion mentioning the breaker.
+func TestSessionSiteGateShedsBeforeAttempting(t *testing.T) {
+	cfg := chainConfig(t, 2, 1, workload.Moderate, true)
+	cfg.Faults = &faults.Config{Seed: 4, MaxRetries: 2}
+	gate := &recordingGate{deny: true}
+	ses, err := NewSession(cfg, SessionOptions{Gate: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr, qerr := runOnSession(t, ses, annotate(leftDeepChain(2), plan.QueryShipping), QueryOpts{})
+	if qerr == nil {
+		t.Fatal("query succeeded although the gate denies its only server")
+	}
+	if !strings.Contains(qerr.Error(), reasonBreakerOpen) {
+		t.Errorf("error %q does not mention the open breaker", qerr)
+	}
+	if gate.allows == 0 {
+		t.Error("gate was never consulted")
+	}
+	if qr.AbortedWork != 0 {
+		t.Errorf("AbortedWork = %g, want 0 (no attempt may start past a denied gate)", qr.AbortedWork)
+	}
+}
+
+// TestSessionSiteGateSeesSuccesses: an allowing gate receives success
+// reports for the attempt's dependency sites (and per completed fetch).
+func TestSessionSiteGateSeesSuccesses(t *testing.T) {
+	gate := &recordingGate{}
+	ses, err := NewSession(chainConfig(t, 2, 1, workload.Moderate, true), SessionOptions{Gate: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runOnSession(t, ses, annotate(leftDeepChain(2), plan.QueryShipping), QueryOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if gate.successes == 0 {
+		t.Error("gate saw no success reports from a completed query")
+	}
+	if gate.failures != 0 {
+		t.Errorf("gate saw %d failure reports from a fault-free run", gate.failures)
+	}
+}

@@ -1,0 +1,312 @@
+package experiments
+
+import (
+	"hybridship/internal/catalog"
+	"hybridship/internal/cost"
+	"hybridship/internal/exec"
+	"hybridship/internal/faults"
+	"hybridship/internal/plan"
+	"hybridship/internal/serve"
+	"hybridship/internal/stats"
+	"hybridship/internal/workload"
+)
+
+// The overload grid puts the serving layer (internal/serve) through the
+// regime the paper never reaches: offered load past saturation, with and
+// without site crashes, for all three shipping policies — each run twice,
+// once with the full serving layer (admission control, deadlines, circuit
+// breakers, retry budget, graceful degradation) and once with it disabled
+// (open loop, unbounded concurrency, always-fresh optimization).
+//
+// The workload is the chaos grid's: the 2-way join, one server, half the
+// pages client-cached — executed with maximum memory so concurrent joins
+// never fight over spill space. Per policy two query classes are compiled
+// (different optimizer seeds) plus the cheap static QS fallback plan the
+// degradation ladder bottoms out on.
+//
+// The x axis is the offered-load multiplier: the arrival rate is mult ×
+// MPL/soloRT, where soloRT is the policy plan's fault-free solo response
+// time — an (intentionally optimistic) estimate of the service capacity.
+// Three figures come out per MTBF level:
+//
+//	overload-goodput: completed queries per virtual second. With the layer
+//	  on it must plateau at capacity past saturation; with it off the open
+//	  loop drowns in its own concurrency (optimizer CPU, fetch-timeout
+//	  retry storms, expired deadlines) and goodput collapses.
+//	overload-p50 / overload-p99: response time (arrival → last tuple) of
+//	  completed queries.
+//
+// Runs are paired like the chaos grid: for a given (load, MTBF, rep) cell
+// every policy and both modes see the same arrival-process seed, the same
+// simulation seed, and the same fault stream.
+
+// Overload grid constants; see DESIGN.md §10 for the derivations.
+const (
+	overloadMPL       = 2    // concurrent executing queries when enabled
+	overloadQueueCap  = 4    // bounded accept queue
+	overloadDeadlineX = 20.0 // per-query deadline, multiples of soloRT
+	overloadOptInst   = 50e6 // fresh-optimization client CPU: the off-mode chokepoint
+	overloadBudget    = 0.1  // fleet retry budget: retries ≤ 10% of requests
+	overloadClasses   = 2
+)
+
+// overloadSweep returns the offered-load multipliers of the x axis.
+func (c Config) overloadSweep() []float64 {
+	if c.Quick {
+		return []float64{1, 2}
+	}
+	return []float64{0.5, 1, 1.5, 2, 3}
+}
+
+// overloadMTBFs returns the site-MTBF levels (0 = fault-free).
+func (c Config) overloadMTBFs() []float64 {
+	return []float64{0, 16}
+}
+
+// OverloadCell is one grid cell's counters, aggregated over repetitions,
+// for the counts table and the -v transition log.
+type OverloadCell struct {
+	MTBF   float64
+	Policy string
+	Mode   string // "on" or "off"
+	Load   float64
+
+	Offered, Rejected, Completed, Expired, Failed int64
+	Degraded                                      int64 // cached + static admissions
+	Retries, RetriesGranted                       int64
+	BreakerOpens                                  int64
+
+	// Transitions of the first repetition only (the others are equally
+	// deterministic but add nothing to a debugging log).
+	Transitions []serve.Transition
+}
+
+// OverloadReport is everything `csq run overload` prints.
+type OverloadReport struct {
+	Figures []*Figure
+	Cells   []OverloadCell
+}
+
+// overloadPolicy is one policy's compiled artifacts, shared by every cell.
+type overloadPolicy struct {
+	pol    plan.Policy
+	plans  []*plan.Node // one per query class
+	static *plan.Node   // the QS fallback
+	soloRT float64      // fault-free solo response time of the class-0 plan
+}
+
+// overloadCatalog builds the grid's catalog: 2-way chain, one server, half
+// the pages cached at the client.
+func overloadCatalog() (*catalog.Catalog, error) {
+	cat, err := workload.BuildCatalog(4096, 1, workload.PlaceRoundRobin(2, 1))
+	if err != nil {
+		return nil, err
+	}
+	if err := workload.CacheAllFraction(cat, 0.5); err != nil {
+		return nil, err
+	}
+	return cat, nil
+}
+
+// overloadCompile compiles every policy's class plans and calibrates their
+// solo response times, once, before the grid fans out.
+func (c Config) overloadCompile() ([]overloadPolicy, error) {
+	out := make([]overloadPolicy, len(allPolicies))
+	var static *plan.Node
+	for pi, pol := range allPolicies {
+		cat, err := overloadCatalog()
+		if err != nil {
+			return nil, err
+		}
+		op := overloadPolicy{pol: pol}
+		for class := 0; class < overloadClasses; class++ {
+			r := run{
+				cat: cat, q: workload.ChainQuery(2, workload.Moderate),
+				policy: pol, metric: cost.MetricResponseTime, maxAlloc: true,
+				next:    workload.Next(workload.Moderate),
+				optSeed: seedFor(c.Seed, int64(pol), int64(class), 70),
+			}
+			res, err := r.optimize()
+			if err != nil {
+				return nil, err
+			}
+			op.plans = append(op.plans, res.Plan)
+		}
+		solo, err := exec.Run(exec.Config{
+			Params: overloadParams(), Catalog: cat,
+			Query: workload.ChainQuery(2, workload.Moderate),
+			Next:  workload.Next(workload.Moderate),
+			Seed:  seedFor(c.Seed, 72),
+		}, op.plans[0])
+		if err != nil {
+			return nil, err
+		}
+		op.soloRT = solo.ResponseTime
+		out[pi] = op
+		if pol == plan.QueryShipping {
+			static = op.plans[0]
+		}
+	}
+	for i := range out {
+		out[i].static = static
+	}
+	return out, nil
+}
+
+func overloadParams() exec.Params {
+	p := exec.DefaultParams()
+	p.MaxAlloc = true
+	return p
+}
+
+// overloadQueries is the offered stream length per cell. The count scales
+// with the load multiplier so every cell offers load over the same virtual
+// window: goodput comparisons then share their denominator, instead of the
+// high-rate cells ending early and over-weighting the drain tail.
+func (c Config) overloadQueries(mult float64) int {
+	base := 96.0
+	if c.Quick {
+		base = 64
+	}
+	return int(base*mult + 0.5)
+}
+
+// overloadCell runs one (policy, mode, load, MTBF, rep) cell.
+func (c Config) overloadCell(op overloadPolicy, disabled bool, mult, mtbf float64, xi, mi, rep int) (serve.Result, error) {
+	cat, err := overloadCatalog()
+	if err != nil {
+		return serve.Result{}, err
+	}
+	fcfg := &faults.Config{
+		Seed:         seedFor(c.Seed, int64(xi), int64(mi), int64(rep), 73),
+		FetchTimeout: 2,
+		MaxRetries:   200,
+		BackoffBase:  0.1,
+		BackoffMax:   1,
+	}
+	if mtbf > 0 {
+		fcfg.SiteMTBF = mtbf
+		fcfg.SiteMTTR = chaosMTTR
+	}
+	satRate := overloadMPL / op.soloRT
+	return serve.Run(serve.Config{
+		Exec: exec.Config{
+			Params:  overloadParams(),
+			Catalog: cat,
+			Query:   workload.ChainQuery(2, workload.Moderate),
+			Next:    workload.Next(workload.Moderate),
+			Seed:    seedFor(c.Seed, int64(xi), int64(mi), int64(rep), 72),
+			Faults:  fcfg,
+		},
+		Seed:        seedFor(c.Seed, int64(xi), int64(mi), int64(rep), 71),
+		NumQueries:  c.overloadQueries(mult),
+		ArrivalRate: mult * satRate,
+		Deadline:    overloadDeadlineX * op.soloRT,
+		MPL:         overloadMPL,
+		QueueCap:    overloadQueueCap,
+		RateLimit:   1.25 * satRate,
+		Burst:       4,
+		Breaker:     serve.BreakerParams{Threshold: 3, Cooldown: 1},
+		RetryBudget: overloadBudget,
+		DegradeHi:   3, DegradeLo: 1,
+		StaticHi: 5, StaticLo: 2,
+		OptInst:    overloadOptInst,
+		Classes:    overloadClasses,
+		FreshPlans: op.plans,
+		StaticPlan: op.static,
+		Disabled:   disabled,
+	})
+}
+
+var overloadModes = []string{"on", "off"}
+
+// Overload runs the serving-layer grid and returns the figures plus the
+// aggregated counts table.
+func (c Config) Overload() (*OverloadReport, error) {
+	policies, err := c.overloadCompile()
+	if err != nil {
+		return nil, err
+	}
+	sweep := c.overloadSweep()
+	mtbfs := c.overloadMTBFs()
+	reps := c.reps()
+
+	// Flat index: (((mi*P + pi)*M + mo)*X + xi)*reps + rep.
+	nP, nM, nX := len(policies), len(overloadModes), len(sweep)
+	vals := make([]serve.Result, len(mtbfs)*nP*nM*nX*reps)
+	err = parallelFor(len(vals), func(idx int) error {
+		rest, rep := idx/reps, idx%reps
+		rest, xi := rest/nX, rest%nX
+		rest, mo := rest/nM, rest%nM
+		mi, pi := rest/nP, rest%nP
+		res, err := c.overloadCell(policies[pi], overloadModes[mo] == "off", sweep[xi], mtbfs[mi], xi, mi, rep)
+		if err != nil {
+			return err
+		}
+		vals[idx] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &OverloadReport{}
+	cell := func(mi, pi, mo, xi, r int) serve.Result {
+		return vals[((((mi*nP+pi)*nM+mo)*nX+xi)*reps + r)]
+	}
+	for mi, mtbf := range mtbfs {
+		suffix := "Fault-Free"
+		if mtbf > 0 {
+			suffix = "Site Crashes (MTBF 16s, MTTR 2s)"
+		}
+		gpFig := &Figure{
+			ID: "overload-goodput", Title: "Goodput vs Offered Load, 2-Way Join; 1 Server, 50% Cached, Max Alloc, " + suffix,
+			XLabel: "offered load[x saturation]", YLabel: "goodput[q/s]",
+		}
+		p50Fig := &Figure{
+			ID: "overload-p50", Title: "Median Response Time vs Offered Load, " + suffix,
+			XLabel: "offered load[x saturation]", YLabel: "p50 RT[s]",
+		}
+		p99Fig := &Figure{
+			ID: "overload-p99", Title: "P99 Response Time vs Offered Load, " + suffix,
+			XLabel: "offered load[x saturation]", YLabel: "p99 RT[s]",
+		}
+		for pi := range policies {
+			for mo, mode := range overloadModes {
+				name := policyNames[policies[pi].pol] + " " + mode
+				gpS, p50S, p99S := Series{Name: name}, Series{Name: name}, Series{Name: name}
+				for xi, mult := range sweep {
+					var gp, p50, p99 stats.Sample
+					agg := OverloadCell{MTBF: mtbfs[mi], Policy: policyNames[policies[pi].pol], Mode: mode, Load: mult}
+					for r := 0; r < reps; r++ {
+						v := cell(mi, pi, mo, xi, r)
+						gp.Add(v.Goodput)
+						p50.Add(v.P50RT)
+						p99.Add(v.P99RT)
+						agg.Offered += v.Offered
+						agg.Rejected += v.RejectedRate + v.RejectedQueue
+						agg.Completed += v.Completed
+						agg.Expired += v.Expired
+						agg.Failed += v.Failed
+						agg.Degraded += v.CachedServed + v.StaticServed
+						agg.Retries += v.Retries
+						agg.RetriesGranted += v.RetriesGranted
+						agg.BreakerOpens += v.BreakerOpens
+						if r == 0 {
+							agg.Transitions = v.Transitions
+						}
+					}
+					gpS.Points = append(gpS.Points, Point{X: mult, Mean: gp.Mean(), CI: gp.CI90(), N: gp.N()})
+					p50S.Points = append(p50S.Points, Point{X: mult, Mean: p50.Mean(), CI: p50.CI90(), N: p50.N()})
+					p99S.Points = append(p99S.Points, Point{X: mult, Mean: p99.Mean(), CI: p99.CI90(), N: p99.N()})
+					rep.Cells = append(rep.Cells, agg)
+				}
+				gpFig.Series = append(gpFig.Series, gpS)
+				p50Fig.Series = append(p50Fig.Series, p50S)
+				p99Fig.Series = append(p99Fig.Series, p99S)
+			}
+		}
+		rep.Figures = append(rep.Figures, gpFig, p50Fig, p99Fig)
+	}
+	return rep, nil
+}

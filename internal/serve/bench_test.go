@@ -1,0 +1,52 @@
+package serve
+
+import "testing"
+
+// BenchmarkAdmissionFastPath is the per-arrival admission decision: token
+// refill, bucket check, queue-depth check. It sits in front of every offered
+// query, so it must stay allocation-free and a few nanoseconds.
+func BenchmarkAdmissionFastPath(b *testing.B) {
+	adm := admission{rate: 100, burst: 8, tokens: 8}
+	now := 0.0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		now += 0.01
+		adm.allow(now, i&3, 8)
+	}
+}
+
+// BenchmarkBreakerCheck is the per-attempt gate consult (Allow on a closed
+// breaker plus the in-flight Shed check), the overhead every healthy query
+// pays for circuit breaking.
+func BenchmarkBreakerCheck(b *testing.B) {
+	clk := &clock{}
+	set := NewBreakerSet(clk.now, 4, 1, BreakerParams{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		set.Allow(i & 3)
+		set.Shed(i & 3)
+	}
+}
+
+// BenchmarkBreakerReportSuccess is the post-fetch success report.
+func BenchmarkBreakerReportSuccess(b *testing.B) {
+	clk := &clock{}
+	set := NewBreakerSet(clk.now, 4, 1, BreakerParams{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		set.ReportSuccess(i & 3)
+	}
+}
+
+// TestAdmissionFastPathZeroAlloc pins the admission decision at zero
+// allocations (the benchmark reports it; this fails the suite if it grows).
+func TestAdmissionFastPathZeroAlloc(t *testing.T) {
+	adm := admission{rate: 100, burst: 8, tokens: 8}
+	now := 0.0
+	if n := testing.AllocsPerRun(1000, func() {
+		now += 0.01
+		adm.allow(now, 2, 8)
+	}); n != 0 {
+		t.Errorf("admission decision allocates %v per call, want 0", n)
+	}
+}

@@ -1,0 +1,585 @@
+// Package serve is the overload-robust multi-query serving layer: a
+// deterministic multi-tenant query front-end that runs inside the simulator
+// and drives the execution engine for a stream of concurrent queries.
+//
+// The paper measures how DS/QS/HY respond times degrade as server load
+// rises; this layer asks the follow-on production question — what keeps the
+// system upright when offered load exceeds capacity? Five mechanisms,
+// composed in admission order:
+//
+//	arrival → token bucket → bounded queue → degradation level → worker
+//	         (rate limit)   (admission)     (fresh/cached/static plan)
+//	                                          ↓
+//	                            exec.Session (deadline, breakers, budget)
+//
+//   - Admission control: a token-bucket rate limiter in front of a bounded
+//     accept queue. Rejected queries are counted, not executed.
+//   - Deadline propagation: each admitted query carries a deadline drawn
+//     from its seedmix stream; exec aborts the in-flight attempt when it
+//     expires and the wasted work is accounted.
+//   - Per-site circuit breakers (breaker.go) wrap every fetch, so a crashed
+//     or stalled site sheds load instead of burning retries and timeouts.
+//   - A fleet-wide retry budget converts per-query exponential backoff into
+//     a system that cannot retry-storm itself during an outage.
+//   - Graceful degradation: under queue pressure new admissions downgrade
+//     from fresh optimization to a bounded plan cache, and past a second
+//     watermark to a cheap static plan, recovering by hysteresis.
+//
+// Everything runs on simulation processes — the kernel executes one process
+// at a time in deterministic order — so all serving state is plain fields
+// and every Result is DeepEqual-identical across GOMAXPROCS.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"hybridship/internal/exec"
+	"hybridship/internal/plan"
+	"hybridship/internal/seedmix"
+	"hybridship/internal/sim"
+)
+
+// Stream tags of the serving layer's seedmix-derived randomness (seedProbe =
+// 203 lives in breaker.go; the engine uses 101/102, faults 1–4).
+const (
+	seedArrival  int64 = 201
+	seedDeadline int64 = 202
+)
+
+// Degradation levels: what a query admitted at that level costs to plan.
+const (
+	LevelFresh  = iota // full optimization, charged as OptInst client CPU
+	LevelCached        // bounded plan cache; a miss pays OptInst, a hit PlanLookupFrac
+	LevelStatic        // precompiled static plan, free
+)
+
+// PlanLookupFrac is the cost of a plan-cache hit as a fraction of OptInst.
+const PlanLookupFrac = 0.01
+
+// Config describes one serving run.
+type Config struct {
+	// Exec configures the shared execution engine (catalog, query, machine
+	// park, optional fault injection). Exec.Seed also seeds the session.
+	Exec exec.Config
+
+	// Seed drives the serving layer's own streams: arrivals, per-query
+	// deadline jitter, and breaker probe schedules.
+	Seed int64
+
+	NumQueries  int     // total offered queries
+	ArrivalRate float64 // Poisson arrivals per virtual second
+
+	// Deadline is the mean relative deadline; each query's own deadline is
+	// jittered ±25% from its seedmix stream. 0 disables deadlines.
+	Deadline float64
+
+	MPL      int // admitted queries executing concurrently
+	QueueCap int // bounded accept queue length
+
+	// RateLimit is the token-bucket refill rate (queries/second); 0 disables
+	// the limiter. Burst is the bucket capacity (default: 1).
+	RateLimit float64
+	Burst     int
+
+	Breaker BreakerParams
+
+	// RetryBudget caps fleet-wide granted retries at this fraction of the
+	// queries started so far (e.g. 0.1 → retries ≤ 10% of requests).
+	// 0 disables the budget.
+	RetryBudget float64
+
+	// Degradation watermarks on queue depth, with hysteresis: depth ≥
+	// DegradeHi moves new admissions to the plan cache, depth ≥ StaticHi to
+	// the static plan; recovery needs depth ≤ the matching Lo mark.
+	// DegradeHi == 0 disables degradation (all admissions stay fresh).
+	DegradeHi, DegradeLo int
+	StaticHi, StaticLo   int
+
+	// OptInst is the client-CPU cost (instructions) of one fresh query
+	// optimization; what degradation saves.
+	OptInst float64
+
+	// Query classes: an admitted query belongs to class id%Classes and runs
+	// FreshPlans[class] (also the plan-cache entry for that class). The
+	// static fallback is StaticPlan for every class.
+	Classes      int
+	FreshPlans   []*plan.Node
+	StaticPlan   *plan.Node
+	PlanCacheCap int // bounded plan-cache capacity (default: Classes)
+
+	// Disabled turns the serving layer off — every arrival is admitted
+	// immediately with unbounded concurrency, fresh optimization, no
+	// breakers and no retry budget — the collapse baseline of the overload
+	// grid. Deadlines still apply: an overloaded system without admission
+	// control does not get to ignore its clients' patience.
+	Disabled bool
+}
+
+// Transition is one degradation-level change, for `csq run overload -v`.
+type Transition struct {
+	At       float64 // virtual time
+	From, To int     // degradation levels
+	Depth    int     // queue depth that triggered the change
+}
+
+// Result reports one serving run. Every field is deterministic: DeepEqual
+// across GOMAXPROCS and repeated runs.
+type Result struct {
+	Offered       int64 // arrivals
+	RejectedRate  int64 // shed by the token bucket
+	RejectedQueue int64 // shed by the full accept queue
+	Admitted      int64
+
+	Completed int64 // finished within deadline
+	Expired   int64 // deadline exceeded
+	Failed    int64 // retry budget or retry cap exhausted
+
+	FreshServed  int64 // admissions at LevelFresh
+	CachedServed int64 // admissions at LevelCached
+	StaticServed int64 // admissions at LevelStatic
+
+	PlanCacheHits   int64
+	PlanCacheMisses int64
+
+	Retries        int64 // failed rounds observed by exec, all queries
+	RetriesGranted int64 // retries the fleet budget granted
+
+	AbortedWork float64 // virtual seconds of aborted attempts
+	BackoffTime float64 // virtual seconds of completed backoff sleeps
+
+	Elapsed float64 // virtual time when the simulation drained
+	Goodput float64 // Completed / Elapsed, queries per virtual second
+
+	// Response-time statistics over completed queries, measured from
+	// arrival (queue wait included).
+	MeanRT, P50RT, P99RT float64
+
+	BreakerOpens int64 // total breaker open transitions across sites
+
+	Transitions []Transition
+}
+
+// task is one admitted query riding the accept queue.
+type task struct {
+	id       int
+	class    int
+	arrival  float64
+	deadline float64 // absolute; 0 = none
+	level    int
+}
+
+// admission is the token-bucket + bounded-queue decision state, factored out
+// so the fast path (one comparison and two multiplications, no allocation)
+// can be benchmarked in isolation.
+type admission struct {
+	rate   float64 // tokens per second; 0 disables the bucket
+	burst  float64
+	tokens float64
+	at     float64 // last refill time
+}
+
+// Admission verdicts.
+const (
+	admitOK = iota
+	admitShedRate
+	admitShedQueue
+)
+
+// allow refills the bucket to now and decides one arrival given the current
+// queue depth; on admitOK the token is consumed.
+func (a *admission) allow(now float64, depth, queueCap int) int {
+	if a.rate > 0 {
+		a.tokens += (now - a.at) * a.rate
+		if a.tokens > a.burst {
+			a.tokens = a.burst
+		}
+		a.at = now
+		if a.tokens < 1 {
+			return admitShedRate
+		}
+	}
+	if depth >= queueCap {
+		return admitShedQueue
+	}
+	if a.rate > 0 {
+		a.tokens--
+	}
+	return admitOK
+}
+
+// planCache is the bounded LRU of compiled plans, keyed by query class. A
+// linear scan over at most PlanCacheCap entries keeps it allocation-free and
+// trivially deterministic.
+type planCache struct {
+	cap   int
+	order []int // class ids, most recently used last
+}
+
+func (c *planCache) hit(class int) bool {
+	for i, id := range c.order {
+		if id == class {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), class)
+			return true
+		}
+	}
+	return false
+}
+
+func (c *planCache) insert(class int) {
+	c.order = append(c.order, class)
+	if len(c.order) > c.cap {
+		c.order = c.order[1:]
+	}
+}
+
+// retryBudget implements exec.RetryGate: grant-if-under-budget, so granted
+// retries can never exceed ratio × requests at any point in the run.
+type retryBudget struct {
+	ratio    float64
+	requests int64 // queries started
+	granted  int64
+}
+
+func (b *retryBudget) AllowRetry() bool {
+	if float64(b.granted+1) > b.ratio*float64(b.requests) {
+		return false
+	}
+	b.granted++
+	return true
+}
+
+// server is one serving run's mutable state. Only simulation processes touch
+// it, one at a time.
+type server struct {
+	cfg     Config
+	ses     *exec.Session
+	sm      *sim.Simulator
+	queue   *sim.Buffer
+	adm     admission
+	cache   planCache
+	budget  *retryBudget
+	brk     *BreakerSet
+	level   int
+	freshB  []plan.Binding
+	staticB plan.Binding
+	res     Result
+	rts     []float64
+}
+
+// Run executes one serving run to completion and returns its metrics.
+func Run(cfg Config) (Result, error) {
+	if err := validate(&cfg); err != nil {
+		return Result{}, err
+	}
+	s := &server{cfg: cfg}
+	var opts exec.SessionOptions
+	if !cfg.Disabled {
+		if cfg.RetryBudget > 0 {
+			s.budget = &retryBudget{ratio: cfg.RetryBudget}
+			opts.Retry = s.budget
+		}
+		// The breaker clock reads the session's simulator through s.sm,
+		// which is set right after the session is built.
+		s.brk = NewBreakerSet(func() float64 { return s.sm.Now() },
+			cfg.Exec.Catalog.NumServers, cfg.Seed, cfg.Breaker)
+		opts.Gate = s.brk
+	}
+	ses, err := exec.NewSession(cfg.Exec, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	s.ses = ses
+	s.sm = ses.Simulator()
+	for _, root := range cfg.FreshPlans {
+		b, err := s.ses.Bind(root)
+		if err != nil {
+			return Result{}, err
+		}
+		s.freshB = append(s.freshB, b)
+	}
+	s.staticB, err = s.ses.Bind(cfg.StaticPlan)
+	if err != nil {
+		return Result{}, err
+	}
+	s.adm = admission{rate: cfg.RateLimit, burst: float64(burst(cfg)), tokens: float64(burst(cfg))}
+	s.cache = planCache{cap: cacheCap(cfg)}
+
+	if cfg.Disabled {
+		s.spawnOpenLoop()
+	} else {
+		s.queue = sim.NewBuffer(s.sm, "serve:accept", cfg.QueueCap)
+		s.spawnArrivals()
+		s.spawnWorkers()
+	}
+	s.res.Elapsed = s.ses.Run()
+	s.finish()
+	return s.res, nil
+}
+
+func validate(cfg *Config) error {
+	switch {
+	case cfg.NumQueries <= 0:
+		return fmt.Errorf("serve: NumQueries must be positive")
+	case cfg.ArrivalRate <= 0:
+		return fmt.Errorf("serve: ArrivalRate must be positive")
+	case cfg.Classes <= 0 || len(cfg.FreshPlans) != cfg.Classes:
+		return fmt.Errorf("serve: need exactly Classes fresh plans")
+	case cfg.StaticPlan == nil:
+		return fmt.Errorf("serve: need a static fallback plan")
+	}
+	if !cfg.Disabled {
+		if cfg.MPL <= 0 {
+			return fmt.Errorf("serve: MPL must be positive")
+		}
+		if cfg.QueueCap <= 0 {
+			return fmt.Errorf("serve: QueueCap must be positive")
+		}
+	}
+	if cfg.DegradeHi > 0 {
+		if cfg.DegradeLo >= cfg.DegradeHi || cfg.StaticLo >= cfg.StaticHi || cfg.StaticHi < cfg.DegradeHi {
+			return fmt.Errorf("serve: watermarks need Lo < Hi and DegradeHi <= StaticHi")
+		}
+	}
+	return nil
+}
+
+func burst(cfg Config) int {
+	if cfg.Burst <= 0 {
+		return 1
+	}
+	return cfg.Burst
+}
+
+func cacheCap(cfg Config) int {
+	if cfg.PlanCacheCap <= 0 {
+		return cfg.Classes
+	}
+	return cfg.PlanCacheCap
+}
+
+// unit maps a seedmix stream value into [0, 1).
+func unit(v int64) float64 { return float64(uint64(v)) / (1 << 63) }
+
+// deadlineAt draws query qi's absolute deadline: the mean relative deadline
+// jittered ±25% by the query's seedmix stream.
+func (s *server) deadlineAt(now float64, qi int) float64 {
+	if s.cfg.Deadline <= 0 {
+		return 0
+	}
+	u := unit(seedmix.Derive(s.cfg.Seed, seedDeadline, int64(qi)))
+	return now + s.cfg.Deadline*(0.75+0.5*u)
+}
+
+// spawnArrivals starts the Poisson arrival process feeding admission.
+func (s *server) spawnArrivals() {
+	delays := arrivalDelays(s.cfg)
+	s.sm.Spawn("serve:arrivals", func(p *sim.Proc) {
+		for i, d := range delays {
+			p.Hold(d)
+			s.arrive(p, i)
+		}
+		s.queue.Close()
+	})
+}
+
+// spawnOpenLoop is the Disabled baseline: the same arrival stream, but every
+// query is admitted instantly on its own process — unbounded concurrency,
+// always-fresh optimization, no gates.
+func (s *server) spawnOpenLoop() {
+	delays := arrivalDelays(s.cfg)
+	s.sm.Spawn("serve:arrivals", func(p *sim.Proc) {
+		for i, d := range delays {
+			p.Hold(d)
+			now := s.sm.Now()
+			s.res.Offered++
+			s.res.Admitted++
+			s.res.FreshServed++
+			t := task{id: i, class: i % s.cfg.Classes, arrival: now, deadline: s.deadlineAt(now, i), level: LevelFresh}
+			i := i
+			s.sm.SpawnLazy(func() string { return fmt.Sprintf("serve:q%d", i) }, func(qp *sim.Proc) {
+				s.execute(qp, t)
+			})
+		}
+	})
+}
+
+// arrivalDelays precomputes the exponential inter-arrival gaps from the
+// arrival seed stream, so enabled and disabled runs of the same seed offer
+// the exact same load.
+func arrivalDelays(cfg Config) []float64 {
+	delays := make([]float64, cfg.NumQueries)
+	for i := range delays {
+		u := unit(seedmix.Derive(cfg.Seed, seedArrival, int64(i)))
+		// Inverse-CDF exponential; clamp u away from 1 to keep it finite.
+		if u > 0.999999 {
+			u = 0.999999
+		}
+		delays[i] = expInv(u) / cfg.ArrivalRate
+	}
+	return delays
+}
+
+// expInv is -ln(1-u), the unit-rate exponential quantile.
+func expInv(u float64) float64 {
+	return -math.Log(1 - u)
+}
+
+// arrive admits or sheds one arrival.
+func (s *server) arrive(p *sim.Proc, qi int) {
+	now := s.sm.Now()
+	s.res.Offered++
+	depth := s.queue.Len()
+	switch s.adm.allow(now, depth, s.cfg.QueueCap) {
+	case admitShedRate:
+		s.res.RejectedRate++
+		return
+	case admitShedQueue:
+		s.res.RejectedQueue++
+		return
+	}
+	lvl := s.admitLevel(now, depth)
+	s.res.Admitted++
+	switch lvl {
+	case LevelFresh:
+		s.res.FreshServed++
+	case LevelCached:
+		s.res.CachedServed++
+	default:
+		s.res.StaticServed++
+	}
+	s.queue.Put(p, task{
+		id: qi, class: qi % s.cfg.Classes, arrival: now,
+		deadline: s.deadlineAt(now, qi), level: lvl,
+	})
+}
+
+// admitLevel applies the watermark/hysteresis controller to the pre-enqueue
+// queue depth and records any level change.
+func (s *server) admitLevel(now float64, depth int) int {
+	if s.cfg.DegradeHi <= 0 {
+		return LevelFresh
+	}
+	lvl := s.level
+	// Escalate under pressure…
+	if depth >= s.cfg.StaticHi {
+		lvl = LevelStatic
+	} else if depth >= s.cfg.DegradeHi && lvl == LevelFresh {
+		lvl = LevelCached
+	}
+	// …and recover only once the queue has drained past the low marks.
+	if lvl == LevelStatic && depth <= s.cfg.StaticLo {
+		lvl = LevelCached
+	}
+	if lvl == LevelCached && depth <= s.cfg.DegradeLo {
+		lvl = LevelFresh
+	}
+	if lvl != s.level {
+		s.res.Transitions = append(s.res.Transitions, Transition{At: now, From: s.level, To: lvl, Depth: depth})
+		s.level = lvl
+	}
+	return lvl
+}
+
+// spawnWorkers starts the MPL executor processes draining the accept queue.
+func (s *server) spawnWorkers() {
+	for w := 0; w < s.cfg.MPL; w++ {
+		w := w
+		s.sm.SpawnLazy(func() string { return fmt.Sprintf("serve:worker%d", w) }, func(p *sim.Proc) {
+			for {
+				v, ok := s.queue.Get(p)
+				if !ok {
+					return
+				}
+				s.execute(p, v.(task))
+			}
+		})
+	}
+}
+
+// execute plans (at the admitted degradation level) and runs one query.
+func (s *server) execute(p *sim.Proc, t task) {
+	root, binding := s.planFor(p, t)
+	if s.budget != nil {
+		s.budget.requests++
+	}
+	qr, err := s.ses.Execute(p, t.id, root, binding, exec.QueryOpts{Deadline: t.deadline})
+	s.res.Retries += qr.Retries
+	s.res.AbortedWork += qr.AbortedWork
+	s.res.BackoffTime += qr.BackoffTime
+	switch {
+	case err == nil:
+		s.res.Completed++
+		s.rts = append(s.rts, s.sm.Now()-t.arrival)
+	case isDeadline(err):
+		s.res.Expired++
+	default:
+		s.res.Failed++
+	}
+}
+
+// planFor returns the plan the query runs, charging the client CPU for the
+// planning work its degradation level implies.
+func (s *server) planFor(p *sim.Proc, t task) (*plan.Node, plan.Binding) {
+	switch t.level {
+	case LevelFresh:
+		s.ses.ChargeClientCPU(p, s.cfg.OptInst)
+		return s.cfg.FreshPlans[t.class], s.freshB[t.class]
+	case LevelCached:
+		if s.cache.hit(t.class) {
+			s.res.PlanCacheHits++
+			s.ses.ChargeClientCPU(p, s.cfg.OptInst*PlanLookupFrac)
+		} else {
+			s.res.PlanCacheMisses++
+			s.ses.ChargeClientCPU(p, s.cfg.OptInst)
+			s.cache.insert(t.class)
+		}
+		return s.cfg.FreshPlans[t.class], s.freshB[t.class]
+	default:
+		return s.cfg.StaticPlan, s.staticB
+	}
+}
+
+// finish derives the summary statistics once the simulation has drained.
+func (s *server) finish() {
+	if s.budget != nil {
+		s.res.RetriesGranted = s.budget.granted
+	}
+	if s.brk != nil {
+		for site := 0; site < s.ses.NumServers(); site++ {
+			s.res.BreakerOpens += s.brk.Opened(site)
+		}
+	}
+	if s.res.Elapsed > 0 {
+		s.res.Goodput = float64(s.res.Completed) / s.res.Elapsed
+	}
+	if len(s.rts) == 0 {
+		return
+	}
+	sort.Float64s(s.rts)
+	var sum float64
+	for _, rt := range s.rts {
+		sum += rt
+	}
+	s.res.MeanRT = sum / float64(len(s.rts))
+	s.res.P50RT = percentile(s.rts, 0.50)
+	s.res.P99RT = percentile(s.rts, 0.99)
+}
+
+// percentile returns the q-quantile of sorted samples (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func isDeadline(err error) bool {
+	return errors.Is(err, exec.ErrDeadlineExceeded)
+}

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Snapshot the serving-layer hot-path benchmarks into BENCH_serve.json.
+#
+# The suite prices the per-query overhead of overload protection — the
+# costs every admitted (or shed) query pays even when the system is
+# healthy:
+#
+#   - BenchmarkAdmissionFastPath: token-bucket refill + queue-depth check
+#     per arrival. Must stay 0 allocs/op.
+#   - BenchmarkBreakerCheck: the per-attempt circuit-breaker consult
+#     (Allow on a closed breaker + the in-flight Shed check). 0 allocs/op.
+#   - BenchmarkBreakerReportSuccess: the post-fetch success report.
+#
+# Usage: scripts/bench_serve.sh  (from the repo root; writes BENCH_serve.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+go test ./internal/serve/ -run '^$' -bench 'Admission|Breaker' -benchmem |
+	go run ./cmd/benchsnap -o BENCH_serve.json
+
+echo "wrote BENCH_serve.json"

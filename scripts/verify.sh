@@ -30,6 +30,8 @@ echo "== go test -race ./..."
 go test -race ./...
 echo "== chaos smoke (short MTBF sweep end-to-end under the race detector)"
 go run -race ./cmd/csq run -quick -reps 2 chaos >/dev/null
+echo "== overload smoke (serving-layer grid end-to-end under the race detector)"
+go run -race ./cmd/csq run -quick -reps 2 overload >/dev/null
 echo "== fuzz smoke (2s per target)"
 go test -run '^$' -fuzz '^FuzzPlanWellFormed$' -fuzztime 2s ./internal/plan/
 go test -run '^$' -fuzz '^FuzzSeedMix$' -fuzztime 2s ./internal/seedmix/
