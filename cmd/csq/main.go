@@ -72,7 +72,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   csq list
-  csq run [-reps N] [-seed S] [-quick] [-v] <fig2|fig3|...|fig9|fig10|fig11|chaos|overload|all>...`)
+  csq run [-reps N] [-seed S] [-quick] [-v] <fig2|fig3|...|fig9|fig10|fig11|chaos|overload|shardscale|all>...`)
 }
 
 func list() {
@@ -80,7 +80,7 @@ func list() {
 	for n := range figures {
 		names = append(names, n)
 	}
-	names = append(names, "fig9", "chaos", "overload")
+	names = append(names, "fig9", "chaos", "overload", "shardscale")
 	sort.Strings(names)
 	for _, n := range names {
 		switch n {
@@ -90,6 +90,8 @@ func list() {
 			fmt.Printf("  %-14s %s\n", n, "fault injection: response time and goodput vs site MTBF")
 		case "overload":
 			fmt.Printf("  %-14s %s\n", n, "serving layer: goodput and tail latency vs offered load, on/off")
+		case "shardscale":
+			fmt.Printf("  %-14s %s\n", n, "parallel kernel: one fleet run on 1/2/4/8 shards, equality-checked")
 		default:
 			fmt.Printf("  %-14s %s\n", n, figures[n].desc)
 		}
@@ -118,10 +120,11 @@ func runCmd(args []string) {
 		os.Exit(2)
 	}
 	if len(targets) == 1 && targets[0] == "all" {
-		// The chaos and overload grids are not part of "all": the committed
-		// figure record (results_full.txt's default section) stays exactly
-		// the paper's fault-free reproduction. Run them explicitly with
-		// `csq run chaos` / `csq run overload`.
+		// The chaos, overload, and shardscale grids are not part of "all":
+		// the committed figure record (results_full.txt's default section)
+		// stays exactly the paper's fault-free reproduction. Run them
+		// explicitly with `csq run chaos` / `csq run overload` /
+		// `csq run shardscale`.
 		targets = []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
 	}
 	cfg := experiments.Config{Reps: *reps, Seed: *seed, Quick: *quick}
@@ -156,6 +159,13 @@ func runCmd(args []string) {
 		if strings.EqualFold(name, "overload") {
 			if err := runOverload(cfg, *verbose, start); err != nil {
 				fmt.Fprintf(os.Stderr, "overload: %v\n", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		if strings.EqualFold(name, "shardscale") {
+			if err := runShardScale(cfg, *verbose, start); err != nil {
+				fmt.Fprintf(os.Stderr, "shardscale: %v\n", err)
 				os.Exit(1)
 			}
 			continue
@@ -212,6 +222,34 @@ func runOverload(cfg experiments.Config, verbose bool, start time.Time) error {
 				fmt.Printf("      t=%8.3fs  %s -> %s  (queue depth %d)\n",
 					tr.At, levels[tr.From], levels[tr.To], tr.Depth)
 			}
+		}
+	}
+	fmt.Printf("  [%s]\n\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runShardScale prints the parallel-kernel grid: the fleet summary, the
+// per-shard-count scaling cells (every cell's observable state has already
+// been asserted DeepEqual to the shards=1 reference before this prints), and
+// — with -v — the fleet monitor's checkpoint log.
+func runShardScale(cfg experiments.Config, verbose bool, start time.Time) error {
+	rep, err := cfg.ShardScale()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Shardscale: one fleet run (%d serving groups x %d queries) on 1/2/4/8 shards\n",
+		rep.Groups, rep.QueriesPerGroup)
+	fmt.Printf("  fleet completed %d queries by t=%.3fs (virtual); identical at every shard count\n",
+		rep.Completed, rep.Elapsed)
+	fmt.Println("  shards  wall(s)   events/s   windows  speedup(wall)  speedup(critical-path)")
+	for _, cl := range rep.Cells {
+		fmt.Printf("  %6d  %7.3f  %9.0f  %7d  %13.2f  %22.2f\n",
+			cl.Shards, cl.WallSec, cl.EventsPerSec, cl.Windows, cl.WallSpeedup, cl.CriticalSpeedup)
+	}
+	if verbose {
+		fmt.Println("  checkpoint log (virtual time at each fleet-wide completion step):")
+		for _, cp := range rep.Checkpoints {
+			fmt.Printf("      t=%8.3fs  completed=%d\n", cp.At, cp.Completed)
 		}
 	}
 	fmt.Printf("  [%s]\n\n", time.Since(start).Round(time.Millisecond))

@@ -78,6 +78,61 @@ func Jitter() float64 {
 }
 `,
 
+	// det selects: multi-case and polling selects race on goroutine
+	// scheduling; a single-case select is the plain channel op; a waiver
+	// on the preceding line suppresses the finding.
+	"det/sel.go": `package det
+
+func Merge(a, b chan int) int {
+	select { // want nodeterm
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func Poll(a chan int) (int, bool) {
+	select { // want nodeterm
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+func Forward(a, b chan int) {
+	v := <-a
+	select {
+	case b <- v:
+	}
+}
+
+func MergeWaived(a, b chan int) int {
+	//hslint:allow nodeterm -- fixture: both senders produce the same value
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+`,
+
+	// seedstuff is not deterministic: its selects are not nodeterm's
+	// business (seedflow still applies module-wide).
+	"seedstuff/sel.go": `package seedstuff
+
+func Race(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+`,
+
 	// cmd/ is timing-exempt: entry points may time themselves.
 	"cmd/tool/main.go": `package main
 
@@ -342,9 +397,10 @@ func TestWaiverListing(t *testing.T) {
 			t.Errorf("%s:%d: well-formed waiver with empty reason", w.File, w.Line)
 		}
 	}
-	// det/det.go has the one fully valid waiver; waivers/waivers.go has one
-	// well-formed (unknown analyzer) and two malformed ones.
-	if valid != 2 || malformed != 2 {
-		t.Errorf("got %d valid / %d malformed waivers, want 2 / 2", valid, malformed)
+	// det/det.go and det/sel.go each have one fully valid waiver;
+	// waivers/waivers.go has one well-formed (unknown analyzer) and two
+	// malformed ones.
+	if valid != 3 || malformed != 2 {
+		t.Errorf("got %d valid / %d malformed waivers, want 3 / 2", valid, malformed)
 	}
 }

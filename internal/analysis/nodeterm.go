@@ -27,6 +27,17 @@ import (
 //     interleaving depends on scheduling. Simulation code must take its
 //     time from sim.Now and its randomness from a *rand.Rand seeded via
 //     internal/seedmix.
+//
+//  3. In the deterministic packages, a `select` that can choose between
+//     communications: when several cases are ready the runtime picks one
+//     uniformly at random, and a default clause turns the statement into a
+//     poll whose answer depends on which goroutine ran first. Either way
+//     cross-goroutine ordering leaks into the execution. The parallel
+//     kernel (internal/shard) exists precisely to avoid this: cross-shard
+//     interactions go through its deterministically merged mailboxes, and
+//     the shard barrier uses a WaitGroup, not a select. A single-case
+//     select without default is equivalent to the plain channel operation
+//     and is allowed.
 var Nodeterm = &Analyzer{
 	Name: "nodeterm",
 	Doc:  "map-iteration order, wall-clock or global rand reaching deterministic results",
@@ -47,6 +58,10 @@ func runNodeterm(u *Unit) {
 				case *ast.RangeStmt:
 					if det {
 						checkMapRange(u, pkg, n)
+					}
+				case *ast.SelectStmt:
+					if det {
+						checkSelect(u, n)
 					}
 				case *ast.CallExpr:
 					if !timingExempt {
@@ -81,6 +96,33 @@ func checkTimingAndRand(u *Unit, pkg *Package, call *ast.CallExpr) {
 		if !randConstructors[f.Name()] {
 			u.Report(call.Pos(), "global math/rand.%s is shared mutable state; use a *rand.Rand seeded via internal/seedmix", f.Name())
 		}
+	}
+}
+
+// checkSelect flags selects whose outcome depends on goroutine scheduling: a
+// choice between several ready communications is made at random, and a
+// default clause makes the statement a readiness poll. Only a single-case,
+// no-default select — sugar for the plain channel operation — is silent.
+func checkSelect(u *Unit, sel *ast.SelectStmt) {
+	comms, def := 0, false
+	for _, clause := range sel.Body.List {
+		if c, ok := clause.(*ast.CommClause); ok {
+			if c.Comm == nil {
+				def = true
+			} else {
+				comms++
+			}
+		}
+	}
+	switch {
+	case comms > 1:
+		u.Report(sel.Pos(), "select chooses among %d ready communications at random; "+
+			"cross-goroutine order can reach the result — use the shard coordinator's deterministic merge, "+
+			"or waive with //hslint:allow nodeterm -- why", comms)
+	case def && comms > 0:
+		u.Report(sel.Pos(), "select with default polls channel readiness; the answer depends on "+
+			"which goroutine ran first — use the shard coordinator's deterministic merge, "+
+			"or waive with //hslint:allow nodeterm -- why")
 	}
 }
 

@@ -143,6 +143,14 @@ type Config struct {
 	// the hook the determinism regression tests use to prove the fast path
 	// leaves the event schedule unchanged.
 	Trace func(sim.Time, string)
+
+	// Kernel, when non-nil, is the simulator this engine builds its sites,
+	// disks, and network on instead of a fresh one — the hook a fleet driver
+	// uses to place several engines on the shards of a shard.Coordinator.
+	// The owner of a shared kernel drives it (the engine's Session.Run must
+	// not be used then) and a sharded kernel rejects Trace, which forces the
+	// sequential reference kernel exactly as the fast-path tracing does.
+	Kernel *sim.Simulator
 }
 
 // Result reports one simulated query execution.
@@ -280,11 +288,16 @@ func newEngine(cfg Config) (*engine, error) {
 	}
 	e := &engine{
 		cfg:    cfg,
-		sim:    sim.New(),
+		sim:    cfg.Kernel,
 		relIdx: make(map[string]int),
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 	}
-	e.sim.Trace = cfg.Trace
+	if e.sim == nil {
+		e.sim = sim.New()
+	}
+	if cfg.Trace != nil {
+		e.sim.Trace = cfg.Trace
+	}
 	e.net = netsim.New(e.sim, cfg.Params.NetBw)
 	for i, r := range cfg.Query.Relations {
 		e.relIdx[r] = i

@@ -179,6 +179,10 @@ type QueryResult struct {
 	BackoffTime float64
 }
 
+// multiQueryName is the static lazy-name formatter for RunMulti's per-query
+// processes (SpawnLazyID keeps the spawn loop allocation-free for the name).
+func multiQueryName(id int64) string { return fmt.Sprintf("query%d", id) }
+
 // RunMulti executes several instances of the same query concurrently in one
 // simulation, sharing every resource — the "multi-query workloads" the paper
 // leaves as future work (§7). All instances run against cfg's query and
@@ -208,7 +212,7 @@ func RunMulti(cfg Config, queries []QueryRun) (MultiResult, error) {
 			return MultiResult{}, fmt.Errorf("exec: query %d: plan root must be display", i)
 		}
 		i, qr, binding := i, qr, binding
-		e.sim.SpawnLazy(func() string { return fmt.Sprintf("query%d", i) }, func(p *sim.Proc) {
+		e.sim.SpawnLazyID(multiQueryName, int64(i), func(p *sim.Proc) {
 			if qr.Start > 0 {
 				p.Hold(qr.Start)
 			}

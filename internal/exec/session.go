@@ -5,7 +5,9 @@ import (
 	"fmt"
 
 	"hybridship/internal/catalog"
+	"hybridship/internal/disk"
 	"hybridship/internal/faults"
+	"hybridship/internal/netsim"
 	"hybridship/internal/plan"
 	"hybridship/internal/sim"
 )
@@ -164,4 +166,19 @@ func (s *Session) FaultStats() faults.Stats {
 		return faults.Stats{}
 	}
 	return s.e.inj.Stats()
+}
+
+// NetStats reports the session's LAN traffic counters — a fleet driver
+// extracts them per group, where a one-shot Run would have folded them into
+// its Result.
+func (s *Session) NetStats() netsim.Stats { return s.e.net.Stats() }
+
+// DiskStats reports the per-site aggregated disk counters, keyed like
+// Result.DiskStats.
+func (s *Session) DiskStats() map[catalog.SiteID]disk.Stats {
+	out := map[catalog.SiteID]disk.Stats{catalog.Client: s.e.client.aggregateStats()}
+	for _, sv := range s.e.servers {
+		out[sv.id] = sv.aggregateStats()
+	}
+	return out
 }

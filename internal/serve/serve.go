@@ -269,10 +269,29 @@ type server struct {
 	rts     []float64
 }
 
+// Server is a constructed serving run whose simulation the caller drives: a
+// fleet driver places several of them on the shards of a coordinator (via
+// Exec.Kernel), runs the shared kernels, then collects each one's Result.
+// For the ordinary single-instance case use Run, which owns the kernel.
+type Server struct {
+	s *server
+}
+
 // Run executes one serving run to completion and returns its metrics.
 func Run(cfg Config) (Result, error) {
-	if err := validate(&cfg); err != nil {
+	sv, err := Start(cfg)
+	if err != nil {
 		return Result{}, err
+	}
+	return sv.Finish(sv.s.ses.Run()), nil
+}
+
+// Start validates cfg, builds the session (on Exec.Kernel if set) and spawns
+// the arrival and worker processes. The simulation has not advanced yet; the
+// caller drives the kernel and then calls Finish.
+func Start(cfg Config) (*Server, error) {
+	if err := validate(&cfg); err != nil {
+		return nil, err
 	}
 	s := &server{cfg: cfg}
 	var opts exec.SessionOptions
@@ -289,20 +308,20 @@ func Run(cfg Config) (Result, error) {
 	}
 	ses, err := exec.NewSession(cfg.Exec, opts)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	s.ses = ses
 	s.sm = ses.Simulator()
 	for _, root := range cfg.FreshPlans {
 		b, err := s.ses.Bind(root)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		s.freshB = append(s.freshB, b)
 	}
 	s.staticB, err = s.ses.Bind(cfg.StaticPlan)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	s.adm = admission{rate: cfg.RateLimit, burst: float64(burst(cfg)), tokens: float64(burst(cfg))}
 	s.cache = planCache{cap: cacheCap(cfg)}
@@ -314,9 +333,34 @@ func Run(cfg Config) (Result, error) {
 		s.spawnArrivals()
 		s.spawnWorkers()
 	}
-	s.res.Elapsed = s.ses.Run()
-	s.finish()
-	return s.res, nil
+	return &Server{s: s}, nil
+}
+
+// Session exposes the underlying exec session, for fleet drivers that place
+// the server on a shared kernel and extract per-group engine stats.
+func (sv *Server) Session() *exec.Session { return sv.s.ses }
+
+// Completed reports the number of queries finished within deadline so far —
+// live state a progress ticker may sample mid-run.
+func (sv *Server) Completed() int64 { return sv.s.res.Completed }
+
+// Done reports whether every offered query has reached a terminal state
+// (completed, expired, failed, or shed at admission). Once true it stays
+// true: the server's remaining work is zero.
+func (sv *Server) Done() bool {
+	r := &sv.s.res
+	return r.Completed+r.Expired+r.Failed+r.RejectedRate+r.RejectedQueue == int64(sv.s.cfg.NumQueries)
+}
+
+// Finish derives the run's summary statistics and returns the Result. The
+// caller passes the run's elapsed virtual time — the kernel's final time for
+// a standalone run, or the fleet-wide completion time for a sharded one (a
+// shard's own final clock depends on how far its last window overshot, so it
+// is not a fleet-level observable).
+func (sv *Server) Finish(elapsed float64) Result {
+	sv.s.res.Elapsed = elapsed
+	sv.s.finish()
+	return sv.s.res
 }
 
 func validate(cfg *Config) error {
@@ -398,8 +442,7 @@ func (s *server) spawnOpenLoop() {
 			s.res.Admitted++
 			s.res.FreshServed++
 			t := task{id: i, class: i % s.cfg.Classes, arrival: now, deadline: s.deadlineAt(now, i), level: LevelFresh}
-			i := i
-			s.sm.SpawnLazy(func() string { return fmt.Sprintf("serve:q%d", i) }, func(qp *sim.Proc) {
+			s.sm.SpawnLazyID(queryName, int64(i), func(qp *sim.Proc) {
 				s.execute(qp, t)
 			})
 		}
@@ -483,11 +526,15 @@ func (s *server) admitLevel(now float64, depth int) int {
 	return lvl
 }
 
+// queryName and workerName are static lazy-name formatters (SpawnLazyID), so
+// these spawn sites capture nothing for the name.
+func queryName(id int64) string  { return fmt.Sprintf("serve:q%d", id) }
+func workerName(id int64) string { return fmt.Sprintf("serve:worker%d", id) }
+
 // spawnWorkers starts the MPL executor processes draining the accept queue.
 func (s *server) spawnWorkers() {
 	for w := 0; w < s.cfg.MPL; w++ {
-		w := w
-		s.sm.SpawnLazy(func() string { return fmt.Sprintf("serve:worker%d", w) }, func(p *sim.Proc) {
+		s.sm.SpawnLazyID(workerName, int64(w), func(p *sim.Proc) {
 			for {
 				v, ok := s.queue.Get(p)
 				if !ok {

@@ -1,0 +1,315 @@
+// Package shard runs several sim.Simulator instances — shards — in parallel
+// under conservative time synchronization, the classic PDES recipe: because
+// every cross-shard interaction travels over a wide-area link with a known
+// minimum latency L (the lookahead, exported by netsim.WAN), no event a shard
+// executes at time t can affect another shard before t + L. The coordinator
+// therefore advances all shards in lockstep windows:
+//
+//	next    = min over shards of the earliest pending event
+//	horizon = next + L
+//
+// Each shard independently processes every local event strictly below the
+// horizon (sim.RunWindow), the shards barrier, and the messages they posted
+// are merged and delivered. Safety: a message is sent at some dispatch time
+// t >= next with delay >= L, so it arrives at or beyond the horizon — never
+// inside the window any shard just ran.
+//
+// Determinism does not come from the barrier alone: two shards may post
+// messages with equal arrival times. The merge therefore orders messages by
+// (arrival time, source shard, per-source sequence) — the same strict-tie
+// discipline the kernel's event heap uses for (time, seq) — before handing
+// them to the destination kernels, so the committed schedule is a pure
+// function of the simulated program, independent of GOMAXPROCS and of which
+// shard's goroutine finished its window first.
+//
+// At shards=1 the coordinator is a pass-through to the sequential kernel
+// (plain sim.Run), so the committed schedule is bit-identical to an unsharded
+// run; Trace is supported only there.
+//
+// One semantic difference from the sequential kernel is inherent to
+// windowing: sim.Run stops at the exact dispatch where the last non-daemon
+// process finishes, while a windowed run only observes that at the next
+// barrier, so daemon and timer events inside the final window but after the
+// last completion still execute. Fleet programs make this unobservable by
+// quiescing daemons (an idle disk arm blocks; tickers are interrupted) before
+// their last process exits — see internal/experiments' shardscale fleet.
+package shard
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sync"
+	"time"
+
+	"hybridship/internal/sim"
+)
+
+// message is one pending cross-shard delivery, recorded in the sending
+// shard's outbox during a window and merged at the barrier.
+type message struct {
+	at       float64 // arrival time
+	src, dst int
+	seq      int64 // per-source sequence, for the deterministic tie-break
+	fn       func()
+}
+
+// Coordinator owns the shards and the window loop. Create one with New,
+// register the lookahead, build the simulated program on the shard kernels
+// (Sim), then call Run.
+type Coordinator struct {
+	sims      []*sim.Simulator
+	index     map[*sim.Simulator]int
+	lookahead float64
+
+	outbox [][]message // per source shard; appended only by that shard's goroutine
+	seq    []int64     // per-source message sequence numbers
+	merge  []message   // reused merge buffer, drained every barrier
+
+	windows        int64
+	busy           []time.Duration // per-shard wall time spent inside windows
+	critical       time.Duration   // sum over windows of the slowest shard's time
+	events         []int64         // per-shard dispatches inside windows
+	criticalEvents int64           // sum over windows of the busiest shard's dispatches
+}
+
+// New returns a coordinator driving n fresh simulators.
+func New(n int) *Coordinator {
+	if n < 1 {
+		panic("shard: need at least one shard")
+	}
+	c := &Coordinator{
+		sims:   make([]*sim.Simulator, n),
+		index:  make(map[*sim.Simulator]int, n),
+		outbox: make([][]message, n),
+		seq:    make([]int64, n),
+		busy:   make([]time.Duration, n),
+		events: make([]int64, n),
+	}
+	for i := range c.sims {
+		c.sims[i] = sim.New()
+		c.index[c.sims[i]] = i
+	}
+	return c
+}
+
+// Shards reports the number of shards.
+func (c *Coordinator) Shards() int { return len(c.sims) }
+
+// Sim returns shard i's kernel. Processes and resources are built on it
+// exactly as on a standalone simulator.
+func (c *Coordinator) Sim(i int) *sim.Simulator { return c.sims[i] }
+
+// ShardOf returns the index of the shard a kernel belongs to. The map is
+// never written after New, so concurrent lookups during a window are safe.
+func (c *Coordinator) ShardOf(s *sim.Simulator) int {
+	i, ok := c.index[s]
+	if !ok {
+		panic("shard: simulator does not belong to this coordinator")
+	}
+	return i
+}
+
+// SetLookahead declares a lower bound on cross-shard message delay, in
+// simulated seconds — typically netsim.WAN.Latency(). Multiple calls (one per
+// registered link) keep the minimum. Required before Run with more than one
+// shard.
+func (c *Coordinator) SetLookahead(la float64) {
+	if la <= 0 {
+		panic(fmt.Sprintf("shard: lookahead %g must be positive", la))
+	}
+	if c.lookahead == 0 || la < c.lookahead {
+		c.lookahead = la
+	}
+}
+
+// Lookahead reports the registered lookahead (0 if none).
+func (c *Coordinator) Lookahead() float64 { return c.lookahead }
+
+// Post schedules fn to run on shard dst's kernel goroutine, delay simulated
+// seconds after p's current time. p identifies the sending process (and so
+// the source shard). A same-shard post is an ordinary timer; a cross-shard
+// post must respect the lookahead — the caller derives the delay from the
+// WAN link, so a violation is a modelling bug and panics.
+func (c *Coordinator) Post(p *sim.Proc, dst int, delay float64, fn func()) {
+	src := c.ShardOf(p.Sim())
+	if src == dst {
+		p.Sim().After(delay, fn)
+		return
+	}
+	if delay < c.lookahead || c.lookahead == 0 {
+		panic(fmt.Sprintf("shard: cross-shard delay %g below lookahead %g", delay, c.lookahead))
+	}
+	c.seq[src]++
+	c.outbox[src] = append(c.outbox[src], message{
+		at: p.Sim().Now() + delay, src: src, dst: dst, seq: c.seq[src], fn: fn,
+	})
+}
+
+// Run executes the simulated program to completion — until no shard has a
+// live non-daemon process — then tears the shards down and returns the
+// latest shard clock. At shards=1 it delegates to the sequential kernel and
+// returns its exact final time.
+func (c *Coordinator) Run() float64 {
+	if len(c.sims) == 1 {
+		return c.sims[0].Run()
+	}
+	for _, s := range c.sims {
+		if s.Trace != nil {
+			panic("shard: Trace requires the sequential reference kernel (shards=1)")
+		}
+	}
+	if c.lookahead <= 0 {
+		panic("shard: SetLookahead required before a multi-shard Run")
+	}
+	nexts := make([]float64, len(c.sims))
+	for i, s := range c.sims {
+		nexts[i] = s.NextEventTime()
+	}
+	for {
+		running := 0
+		for _, s := range c.sims {
+			running += s.Running()
+		}
+		if running == 0 {
+			break
+		}
+		next := math.Inf(1)
+		for _, t := range nexts {
+			next = math.Min(next, t)
+		}
+		if math.IsInf(next, 1) {
+			panic(fmt.Sprintf("shard: deadlock: %d process(es) blocked with no pending events on any shard", running))
+		}
+		horizon := next + c.lookahead
+		c.runWindows(horizon, nexts)
+		c.deliver(horizon, nexts)
+		c.windows++
+	}
+	end := 0.0
+	for _, s := range c.sims {
+		s.Finish()
+		end = math.Max(end, s.Now())
+	}
+	return end
+}
+
+// runWindows advances every shard through one window concurrently and
+// barriers. Shard panics (kernel failures re-raised by RunWindow) are
+// collected and re-raised after the barrier, lowest shard first, so a
+// multi-shard failure is reported deterministically.
+func (c *Coordinator) runWindows(horizon float64, nexts []float64) {
+	n := len(c.sims)
+	panics := make([]any, n)
+	spans := make([]time.Duration, n)
+	deltas := make([]int64, n)
+	var wg sync.WaitGroup
+	for i := range c.sims {
+		wg.Add(1)
+		go func(i int) {
+			//hslint:allow nodeterm -- wall-clock profiling for the scaling report; never reaches simulated state
+			t0 := time.Now()
+			d0 := c.sims[i].Dispatched()
+			defer func() {
+				//hslint:allow nodeterm -- wall-clock profiling for the scaling report; never reaches simulated state
+				spans[i] = time.Since(t0)
+				deltas[i] = c.sims[i].Dispatched() - d0
+				panics[i] = recover()
+				wg.Done()
+			}()
+			nexts[i] = c.sims[i].RunWindow(horizon)
+		}(i)
+	}
+	wg.Wait()
+	var slowest time.Duration
+	var most int64
+	for i := range spans {
+		c.busy[i] += spans[i]
+		c.events[i] += deltas[i]
+		slowest = max(slowest, spans[i])
+		most = max(most, deltas[i])
+	}
+	c.critical += slowest
+	c.criticalEvents += most
+	for _, r := range panics {
+		if r != nil {
+			panic(r)
+		}
+	}
+}
+
+// deliver merges every outbox in (arrival, source shard, source sequence)
+// order and schedules the messages as timer events on their destination
+// kernels, updating each destination's next-event time.
+func (c *Coordinator) deliver(horizon float64, nexts []float64) {
+	c.merge = c.merge[:0]
+	for src := range c.outbox {
+		c.merge = append(c.merge, c.outbox[src]...)
+		c.outbox[src] = c.outbox[src][:0]
+	}
+	if len(c.merge) == 0 {
+		return
+	}
+	slices.SortFunc(c.merge, func(a, b message) int {
+		switch {
+		case a.at != b.at:
+			if a.at < b.at {
+				return -1
+			}
+			return 1
+		case a.src != b.src:
+			return a.src - b.src
+		default:
+			return int(a.seq - b.seq)
+		}
+	})
+	for _, m := range c.merge {
+		if m.at < horizon {
+			// Unreachable when every sender respects the lookahead; kept as
+			// the conservative-safety tripwire.
+			panic(fmt.Sprintf("shard: message from shard %d arrives at %g inside the window (horizon %g)", m.src, m.at, horizon))
+		}
+		c.sims[m.dst].At(m.at, m.fn)
+		nexts[m.dst] = math.Min(nexts[m.dst], m.at)
+	}
+}
+
+// Profile is the per-window accounting of a multi-shard Run, for the
+// shardscale grid's report, in two currencies:
+//
+// Busy/Critical are wall time: per-shard time inside windows, and the sum
+// over windows of the slowest shard. On a host with enough cores
+// Sum(Busy)/Critical is the measured parallelism — but on an oversubscribed
+// host the kernel's park/dispatch handshakes make one shard's span absorb
+// other shards' interleaved execution, squashing the ratio toward 1.
+//
+// Events/CriticalEvents are the same shape in kernel dispatches: per-shard
+// events executed inside windows, and the sum over windows of the busiest
+// shard's count. Sum(Events)/CriticalEvents is the speedup the committed
+// schedule itself admits with one core per shard — deterministic and
+// host-independent, the honest scaling number on a 1-core container.
+type Profile struct {
+	Windows        int64
+	Busy           []time.Duration
+	Critical       time.Duration
+	Events         []int64
+	CriticalEvents int64
+}
+
+// Profile returns the accumulated window accounting.
+func (c *Coordinator) Profile() Profile {
+	return Profile{
+		Windows: c.windows,
+		Busy:    slices.Clone(c.busy), Critical: c.critical,
+		Events: slices.Clone(c.events), CriticalEvents: c.criticalEvents,
+	}
+}
+
+// Dispatched sums the kernel dispatch counters over all shards.
+func (c *Coordinator) Dispatched() int64 {
+	var n int64
+	for _, s := range c.sims {
+		n += s.Dispatched()
+	}
+	return n
+}

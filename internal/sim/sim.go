@@ -39,6 +39,14 @@ type Simulator struct {
 	failure any           // panic value captured from a process goroutine
 	armed   bool          // process cancellation enabled (see ArmInterrupts)
 
+	// horizon bounds the in-place Hold fast path when the simulator runs as
+	// one shard of a windowed parallel run (see RunWindow): a hold that would
+	// carry the clock to or past the horizon must park, so the window loop
+	// regains control at the barrier. Sequential runs keep it at +Inf, which
+	// makes the extra fast-path comparison always true.
+	horizon    Time
+	dispatched int64 // kernel dispatches + timer callbacks (fast-path holds elided)
+
 	// Trace, when non-nil, receives a line per kernel dispatch. Intended for
 	// debugging tests only. Setting Trace disables the in-place Hold fast
 	// path, so the trace records every dispatch the reference kernel would
@@ -48,19 +56,22 @@ type Simulator struct {
 
 // New returns an empty simulator at time zero.
 func New() *Simulator {
-	return &Simulator{parked: make(chan struct{})}
+	return &Simulator{parked: make(chan struct{}), horizon: math.Inf(1)}
 }
 
 // Now returns the current virtual time.
 func (s *Simulator) Now() Time { return s.now }
 
 // event is one pending wakeup. gen guards against stale events delivered to
-// a pooled Proc that has since been reused for a new process.
+// a pooled Proc that has since been reused for a new process. An event with
+// fn != nil is a timer callback instead: the kernel runs fn inline on the
+// kernel goroutine at the event's timestamp (proc is nil for these).
 type event struct {
 	at   Time
 	seq  int64
 	proc *Proc
 	gen  uint32
+	fn   func()
 }
 
 // eventHeap is a value-typed binary min-heap ordered by (at, seq). Push and
@@ -129,7 +140,9 @@ func (s *Simulator) schedule(p *Proc, at Time) {
 type Proc struct {
 	sim       *Simulator
 	name      string
-	namef     func() string // lazy name; resolved on first Name() call
+	namef     func() string       // lazy name; resolved on first Name() call
+	namefID   func(int64) string  // lazy name from a static formatter + nameID
+	nameID    int64               // argument for namefID
 	wake      chan struct{}
 	body      func(p *Proc)
 	gen       uint32 // bumped on pool reuse; stale events are discarded
@@ -149,8 +162,12 @@ type terminated struct{}
 // the name on first use, so the construction cost is only paid when someone
 // — typically a Trace hook or a panic message — actually asks for it.
 func (p *Proc) Name() string {
-	if p.name == "" && p.namef != nil {
-		p.name = p.namef()
+	if p.name == "" {
+		if p.namef != nil {
+			p.name = p.namef()
+		} else if p.namefID != nil {
+			p.name = p.namefID(p.nameID)
+		}
 	}
 	return p.name
 }
@@ -162,7 +179,7 @@ func (p *Proc) Sim() *Simulator { return p.sim }
 // time. The body runs in its own goroutine but only while the kernel has
 // handed it control.
 func (s *Simulator) Spawn(name string, body func(p *Proc)) *Proc {
-	return s.spawn(name, nil, body, false)
+	return s.spawn(name, nil, nil, 0, body, false)
 }
 
 // SpawnDaemon creates a service process (e.g. a disk arm or a background load
@@ -170,22 +187,35 @@ func (s *Simulator) Spawn(name string, body func(p *Proc)) *Proc {
 // keep Run alive and do not count as deadlocked; when the event queue drains,
 // Run terminates them by unwinding their goroutines.
 func (s *Simulator) SpawnDaemon(name string, body func(p *Proc)) *Proc {
-	return s.spawn(name, nil, body, true)
+	return s.spawn(name, nil, nil, 0, body, true)
 }
 
 // SpawnLazy is Spawn with a lazily built name: namef runs only if the name
 // is ever needed. Hot paths that spawn many short-lived processes use this
 // to keep fmt.Sprintf out of the per-spawn cost.
 func (s *Simulator) SpawnLazy(namef func() string, body func(p *Proc)) *Proc {
-	return s.spawn("", namef, body, false)
+	return s.spawn("", namef, nil, 0, body, false)
 }
 
 // SpawnDaemonLazy is SpawnDaemon with a lazily built name.
 func (s *Simulator) SpawnDaemonLazy(namef func() string, body func(p *Proc)) *Proc {
-	return s.spawn("", namef, body, true)
+	return s.spawn("", namef, nil, 0, body, true)
 }
 
-func (s *Simulator) spawn(name string, namef func() string, body func(p *Proc), daemon bool) *Proc {
+// SpawnLazyID is SpawnLazy for the tightest spawn loops: the lazy name is a
+// static formatter applied to an int64 id, so the call site captures nothing
+// and the spawn allocates nothing once the goroutine pool is warm. Callers
+// with two coordinates pack them into the id (e.g. site<<32|index).
+func (s *Simulator) SpawnLazyID(namef func(int64) string, id int64, body func(p *Proc)) *Proc {
+	return s.spawn("", nil, namef, id, body, false)
+}
+
+// SpawnDaemonLazyID is SpawnDaemon with a static-formatter lazy name.
+func (s *Simulator) SpawnDaemonLazyID(namef func(int64) string, id int64, body func(p *Proc)) *Proc {
+	return s.spawn("", nil, namef, id, body, true)
+}
+
+func (s *Simulator) spawn(name string, namef func() string, namefID func(int64) string, id int64, body func(p *Proc), daemon bool) *Proc {
 	var p *Proc
 	if n := len(s.free); n > 0 {
 		// Reuse the goroutine + wake channel of a finished process. Safe
@@ -194,11 +224,11 @@ func (s *Simulator) spawn(name string, namef func() string, body func(p *Proc), 
 		p = s.free[n-1]
 		s.free = s.free[:n-1]
 		p.gen++
-		p.name, p.namef, p.body = name, namef, body
+		p.name, p.namef, p.namefID, p.nameID, p.body = name, namef, namefID, id, body
 		p.done, p.daemon, p.terminate = false, daemon, false
 		p.intr, p.intrReason = false, "" // a prior body may have finished with an undelivered interrupt
 	} else {
-		p = &Proc{sim: s, name: name, namef: namef, wake: make(chan struct{}), body: body, daemon: daemon}
+		p = &Proc{sim: s, name: name, namef: namef, namefID: namefID, nameID: id, wake: make(chan struct{}), body: body, daemon: daemon}
 		go s.worker(p)
 	}
 	if daemon {
@@ -267,18 +297,9 @@ func (s *Simulator) runBody(p *Proc) {
 func (s *Simulator) Run() Time {
 	for len(s.events) > 0 && s.running > 0 {
 		e := s.events.pop()
-		if e.proc.done || e.gen != e.proc.gen {
+		if !s.dispatch(e) {
 			continue // stale event of a finished (possibly reused) process
 		}
-		if e.at < s.now {
-			panic("sim: time went backwards")
-		}
-		s.now = e.at
-		if s.Trace != nil {
-			s.Trace(s.now, e.proc.Name())
-		}
-		e.proc.wake <- struct{}{}
-		<-s.parked
 		if s.failure != nil {
 			panic(s.failure)
 		}
@@ -286,7 +307,44 @@ func (s *Simulator) Run() Time {
 	if s.running > 0 {
 		panic(fmt.Sprintf("sim: deadlock: %d process(es) blocked with no pending events", s.running))
 	}
-	// Unwind surviving daemon goroutines so repeated simulations do not leak.
+	s.Finish()
+	return s.now
+}
+
+// dispatch advances the clock to e.at and delivers one popped event: a timer
+// callback runs inline on the kernel goroutine; a process wakeup hands
+// control to the process until it parks again. Returns false for a stale
+// event (nothing ran).
+func (s *Simulator) dispatch(e event) bool {
+	if e.fn != nil {
+		if e.at < s.now {
+			panic("sim: time went backwards")
+		}
+		s.now = e.at
+		s.dispatched++
+		e.fn()
+		return true
+	}
+	if e.proc.done || e.gen != e.proc.gen {
+		return false
+	}
+	if e.at < s.now {
+		panic("sim: time went backwards")
+	}
+	s.now = e.at
+	s.dispatched++
+	if s.Trace != nil {
+		s.Trace(s.now, e.proc.Name())
+	}
+	e.proc.wake <- struct{}{}
+	<-s.parked
+	return true
+}
+
+// Finish unwinds surviving daemon goroutines and pooled workers so repeated
+// simulations do not leak. Run calls it when the event queue drains; a shard
+// coordinator calls it once after the last window.
+func (s *Simulator) Finish() {
 	for _, d := range s.daemons {
 		if d.done {
 			continue
@@ -296,14 +354,12 @@ func (s *Simulator) Run() Time {
 		<-s.parked
 	}
 	s.daemons = nil
-	// Release pooled worker goroutines the same way.
 	for _, p := range s.free {
 		p.terminate = true
 		p.wake <- struct{}{}
 		<-s.parked
 	}
 	s.free = nil
-	return s.now
 }
 
 // park releases control to the kernel and blocks until resumed. Pending
@@ -341,7 +397,7 @@ func (p *Proc) Hold(dt Time) {
 	}
 	s := p.sim
 	at := s.now + dt
-	if s.Trace == nil && (len(s.events) == 0 || s.events[0].at > at) {
+	if s.Trace == nil && at < s.horizon && (len(s.events) == 0 || s.events[0].at > at) {
 		s.now = at
 		return
 	}

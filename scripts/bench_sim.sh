@@ -1,0 +1,28 @@
+#!/bin/sh
+# Snapshot the parallel simulation kernel's benchmark suite into
+# BENCH_sim.json.
+#
+# Runs the internal/shard benchmarks — the balanced synthetic fleet at
+# 1/2/4/8 shards (ns per worker round, kernel events/s, and the
+# schedule-admitted critical-path speedup), the cross-shard message cost,
+# and the bare horizon-advance (window barrier) cost — plus the sequential
+# kernel's Hold fast path and pooled-spawn micro-benchmarks the sharding
+# must not regress, and pipes the output through cmd/benchsnap to record
+# ns/op, B/op, allocs/op, and the custom metrics as JSON.
+#
+# The committed snapshot was produced on a 1-core container, where wall
+# time cannot scale with shards; the scaling record is the fleet's
+# critical-speedup metric, which is deterministic and host-independent
+# (see DESIGN.md §11).
+#
+# Usage: scripts/bench_sim.sh  (from the repo root; writes BENCH_sim.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+{
+	go test ./internal/shard/ -run '^$' -bench . -benchmem -benchtime 100000x
+	go test ./internal/sim/ -run '^$' -bench 'BenchmarkHoldFastPath$|BenchmarkSpawnShortLived' -benchmem
+} | go run ./cmd/benchsnap -o BENCH_sim.json
+
+echo "wrote BENCH_sim.json"

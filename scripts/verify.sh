@@ -32,6 +32,8 @@ echo "== chaos smoke (short MTBF sweep end-to-end under the race detector)"
 go run -race ./cmd/csq run -quick -reps 2 chaos >/dev/null
 echo "== overload smoke (serving-layer grid end-to-end under the race detector)"
 go run -race ./cmd/csq run -quick -reps 2 overload >/dev/null
+echo "== shardscale smoke (parallel kernel: fleet equality at 1/2/4/8 shards under the race detector)"
+go run -race ./cmd/csq run -quick -reps 1 shardscale >/dev/null
 echo "== fuzz smoke (2s per target)"
 go test -run '^$' -fuzz '^FuzzPlanWellFormed$' -fuzztime 2s ./internal/plan/
 go test -run '^$' -fuzz '^FuzzSeedMix$' -fuzztime 2s ./internal/seedmix/
