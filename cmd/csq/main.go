@@ -72,7 +72,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   csq list
-  csq run [-reps N] [-seed S] [-quick] [-v] <fig2|fig3|...|fig9|fig10|fig11|chaos|overload|shardscale|all>...`)
+  csq run [-reps N] [-seed S] [-quick] [-v] <fig2|fig3|...|fig9|fig10|fig11|chaos|overload|shardscale|vecscale|all>...`)
 }
 
 func list() {
@@ -80,7 +80,7 @@ func list() {
 	for n := range figures {
 		names = append(names, n)
 	}
-	names = append(names, "fig9", "chaos", "overload", "shardscale")
+	names = append(names, "fig9", "chaos", "overload", "shardscale", "vecscale")
 	sort.Strings(names)
 	for _, n := range names {
 		switch n {
@@ -92,6 +92,8 @@ func list() {
 			fmt.Printf("  %-14s %s\n", n, "serving layer: goodput and tail latency vs offered load, on/off")
 		case "shardscale":
 			fmt.Printf("  %-14s %s\n", n, "parallel kernel: one fleet run on 1/2/4/8 shards, equality-checked")
+		case "vecscale":
+			fmt.Printf("  %-14s %s\n", n, "vectorized engine: batch-at-a-time vs page-at-a-time, equality-checked")
 		default:
 			fmt.Printf("  %-14s %s\n", n, figures[n].desc)
 		}
@@ -120,11 +122,11 @@ func runCmd(args []string) {
 		os.Exit(2)
 	}
 	if len(targets) == 1 && targets[0] == "all" {
-		// The chaos, overload, and shardscale grids are not part of "all":
-		// the committed figure record (results_full.txt's default section)
-		// stays exactly the paper's fault-free reproduction. Run them
-		// explicitly with `csq run chaos` / `csq run overload` /
-		// `csq run shardscale`.
+		// The chaos, overload, shardscale, and vecscale grids are not part
+		// of "all": the committed figure record (results_full.txt's default
+		// section) stays exactly the paper's fault-free reproduction. Run
+		// them explicitly with `csq run chaos` / `csq run overload` /
+		// `csq run shardscale` / `csq run vecscale`.
 		targets = []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
 	}
 	cfg := experiments.Config{Reps: *reps, Seed: *seed, Quick: *quick}
@@ -166,6 +168,13 @@ func runCmd(args []string) {
 		if strings.EqualFold(name, "shardscale") {
 			if err := runShardScale(cfg, *verbose, start); err != nil {
 				fmt.Fprintf(os.Stderr, "shardscale: %v\n", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		if strings.EqualFold(name, "vecscale") {
+			if err := runVecScale(cfg, start); err != nil {
+				fmt.Fprintf(os.Stderr, "vecscale: %v\n", err)
 				os.Exit(1)
 			}
 			continue
@@ -226,6 +235,41 @@ func runOverload(cfg experiments.Config, verbose bool, start time.Time) error {
 	}
 	fmt.Printf("  [%s]\n\n", time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// runVecScale prints the vectorized-engine ablation: per-cell wall clocks of
+// the page-at-a-time and batch-at-a-time engines (every cell's Result has
+// already been asserted DeepEqual between the two before this prints) and
+// the grid-total speedups. The virtual columns (resp, pages) are exact; the
+// wall columns are host-dependent illustrations — the committed record is
+// BENCH_exec.json.
+func runVecScale(cfg experiments.Config, start time.Time) error {
+	rep, err := cfg.VecScale()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Vecscale: vectorized vs page-at-a-time engine, per-cell results equality-checked")
+	fmt.Println("  nway tuples batch pol   resp(s)  pages   max: legacy/vec ms (x)   min: legacy/vec ms (x)")
+	for _, cl := range rep.Cells {
+		fmt.Printf("  %4d %6d %5d %-3s %9.2f %6d   %9.1f/%7.1f (%4.2f)   %9.1f/%7.1f (%4.2f)\n",
+			cl.Nway, cl.Tuples, cl.BatchPages, cl.Policy, cl.ResponseTime, cl.PagesSent,
+			1e3*cl.MaxWallLegacy, 1e3*cl.MaxWallVec, ratio(cl.MaxWallLegacy, cl.MaxWallVec),
+			1e3*cl.MinWallLegacy, 1e3*cl.MinWallVec, ratio(cl.MinWallLegacy, cl.MinWallVec))
+	}
+	fmt.Printf("  grid total, max alloc: %7.1f ms legacy / %7.1f ms vec  (%.2fx)\n",
+		1e3*rep.MaxLegacyTotal, 1e3*rep.MaxVecTotal, ratio(rep.MaxLegacyTotal, rep.MaxVecTotal))
+	fmt.Printf("  grid total, min alloc: %7.1f ms legacy / %7.1f ms vec  (%.2fx)\n",
+		1e3*rep.MinLegacyTotal, 1e3*rep.MinVecTotal, ratio(rep.MinLegacyTotal, rep.MinVecTotal))
+	fmt.Printf("  [%s]\n\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// ratio guards the speedup columns against a zero denominator.
+func ratio(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a / b
 }
 
 // runShardScale prints the parallel-kernel grid: the fleet summary, the

@@ -69,6 +69,18 @@ type Config struct {
 	// wall-clock calls are legitimate: interactive entry points may time
 	// themselves.
 	TimingExemptPrefixes []string
+	// VecPkg is the package holding the vectorized (batch-at-a-time)
+	// execution engine. Functions declared in its VecFilePrefix source files
+	// are the roots of simhot's per-tuple-allocation walk; empty disables
+	// the rule.
+	VecPkg string
+	// VecFilePrefix selects VecPkg files by basename prefix (e.g. "v" for
+	// vec.go, vops.go, vjoin.go, vhash.go) whose top-level functions seed
+	// the vectorized hot-path reachability walk.
+	VecFilePrefix string
+	// VecTupleType names the per-row type (in VecPkg) whose construction is
+	// banned on the vectorized hot path.
+	VecTupleType string
 }
 
 // DefaultConfig returns the hybridship configuration for a module rooted at
@@ -76,8 +88,11 @@ type Config struct {
 func DefaultConfig(modulePath string) *Config {
 	det := []string{"opt", "exec", "sim", "experiments", "workload", "stats", "cost", "plan", "faults", "serve", "shard"}
 	c := &Config{
-		SeedMixPkg: modulePath + "/internal/seedmix",
-		SimPkg:     modulePath + "/internal/sim",
+		SeedMixPkg:    modulePath + "/internal/seedmix",
+		SimPkg:        modulePath + "/internal/sim",
+		VecPkg:        modulePath + "/internal/exec",
+		VecFilePrefix: "v",
+		VecTupleType:  "Tuple",
 		TimingExemptPrefixes: []string{
 			modulePath + "/cmd/",
 			modulePath + "/examples/",

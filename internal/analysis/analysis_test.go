@@ -215,6 +215,52 @@ func Launch(s *sim.Simulator, i int) {
 func suffix(i int) string { return "x" }
 `,
 
+	// vexec is the configured vectorized-engine package: functions declared
+	// in its "v"-prefixed files are hot-path roots, and per-row Tuple
+	// allocation is banned in everything they reach — including helpers in
+	// other files of the package.
+	"vexec/vec.go": `package vexec
+
+func RunVec(rows int) []Tuple {
+	out := make([]Tuple, 0, rows)
+	for i := 0; i < rows; i++ {
+		out = append(out, make(Tuple, 2)) // want simhot simhot
+	}
+	out = append(out, mergeRows(out[0], out[1])) // want simhot
+	return out
+}
+
+func Header() Tuple {
+	//hslint:allow simhot -- fixture: one header tuple per query, off the per-row path
+	return make(Tuple, 4)
+}
+
+func gather(b *batch, v int64) {
+	b.data = append(b.data, v)
+}
+`,
+
+	"vexec/legacy.go": `package vexec
+
+type Tuple []int64
+
+type batch struct{ data []int64 }
+
+func mergeRows(a, b Tuple) Tuple {
+	out := make(Tuple, len(a)+len(b)) // want simhot
+	copy(out, a)
+	return append(out, b...)
+}
+
+func coldPath(n int) []Tuple {
+	buf := make([]Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		buf = append(buf, make(Tuple, 1))
+	}
+	return buf
+}
+`,
+
 	// fsum is deterministic: goroutine-spawning loops must accumulate
 	// slot-indexed, not into shared floats.
 	"fsum/fsum.go": `package fsum
@@ -262,6 +308,9 @@ func testConfig() *analysis.Config {
 		SeedMixPkg:           "fixture/seedmix",
 		SimPkg:               "fixture/sim",
 		TimingExemptPrefixes: []string{"fixture/cmd/"},
+		VecPkg:               "fixture/vexec",
+		VecFilePrefix:        "v",
+		VecTupleType:         "Tuple",
 	}
 }
 
@@ -355,6 +404,8 @@ func TestDiagnosticFormat(t *testing.T) {
 	checks := []struct{ analyzer, file, substr string }{
 		{"simhot", "hot/hot.go", "use SpawnLazy"},
 		{"simhot", "hot/hot.go", "use SpawnDaemonLazy"},
+		{"simhot", "vexec/vec.go", "columnar batch"},
+		{"simhot", "vexec/legacy.go", "vectorized hot path"},
 		{"seedflow", "seedstuff/seed.go", "use seedmix.Derive"},
 		{"nodeterm", "det/det.go", "//hslint:ordered"},
 		{"floatsum", "fsum/fsum.go", "slot-indexed"},
@@ -397,10 +448,10 @@ func TestWaiverListing(t *testing.T) {
 			t.Errorf("%s:%d: well-formed waiver with empty reason", w.File, w.Line)
 		}
 	}
-	// det/det.go and det/sel.go each have one fully valid waiver;
-	// waivers/waivers.go has one well-formed (unknown analyzer) and two
-	// malformed ones.
-	if valid != 3 || malformed != 2 {
-		t.Errorf("got %d valid / %d malformed waivers, want 3 / 2", valid, malformed)
+	// det/det.go, det/sel.go, and vexec/vec.go each have one fully valid
+	// waiver; waivers/waivers.go has one well-formed (unknown analyzer) and
+	// two malformed ones.
+	if valid != 4 || malformed != 2 {
+		t.Errorf("got %d valid / %d malformed waivers, want 4 / 2", valid, malformed)
 	}
 }

@@ -4,10 +4,12 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
+	"strings"
 )
 
 // Simhot enforces the PR 1/2 allocation-lean discipline on the simulation
-// kernel's hot path. Two rules:
+// kernel's hot path. Three rules:
 //
 //  1. Anywhere in the module, Spawn / SpawnDaemon must not be handed an
 //     eagerly built name — `Spawn(fmt.Sprintf("query%d", i), ...)` pays the
@@ -23,15 +25,23 @@ import (
 //     (direct calls and method calls on named types); process bodies are
 //     invoked through closures the kernel cannot see, so operator code is
 //     governed by rule 1 and by its own benchmarks, not by this walk.
+//
+//  3. Inside any function statically reachable from the vectorized engine's
+//     roots (the functions VecPkg declares in its VecFilePrefix files),
+//     per-row allocation of the row type is flagged: `make(Tuple, …)` and
+//     appends that grow a []Tuple. The vectorized data plane's contract is
+//     columnar batches and arena storage; a stray per-tuple allocation
+//     silently reintroduces the costs the mode exists to remove.
 var Simhot = &Analyzer{
 	Name: "simhot",
-	Doc:  "eager process names and string building on the sim kernel hot path",
+	Doc:  "eager process names, string building on the sim kernel hot path, and per-tuple allocation on the vectorized hot path",
 	Run:  runSimhot,
 }
 
 func runSimhot(u *Unit) {
 	checkSpawnNames(u)
 	checkHotReachable(u)
+	checkVecAlloc(u)
 }
 
 // checkSpawnNames flags eager name arguments to the kernel's Spawn methods.
@@ -91,15 +101,16 @@ func isRuntimeConcat(info *types.Info, e *ast.BinaryExpr) bool {
 	return ok && b.Info()&types.IsString != 0
 }
 
-// checkHotReachable builds the static call graph, closes it over the kernel
-// package's functions, and flags string building inside the closure.
-func checkHotReachable(u *Unit) {
-	type fn struct {
-		decl *ast.FuncDecl
-		pkg  *Package
-	}
-	bodies := make(map[*types.Func]fn)
-	var roots []*types.Func
+// fnBody pairs a function declaration's AST with its package, for
+// cross-package call-graph walks.
+type fnBody struct {
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+// moduleBodies indexes every function the module declares with a body.
+func moduleBodies(u *Unit) map[*types.Func]fnBody {
+	bodies := make(map[*types.Func]fnBody)
 	for _, pkg := range u.Packages {
 		for _, file := range pkg.Files {
 			for _, d := range file.Decls {
@@ -107,18 +118,20 @@ func checkHotReachable(u *Unit) {
 				if !ok || decl.Body == nil {
 					continue
 				}
-				obj, ok := pkg.Info.Defs[decl.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				bodies[obj] = fn{decl, pkg}
-				if pkg.Path == u.Config.SimPkg {
-					roots = append(roots, obj)
+				if obj, ok := pkg.Info.Defs[decl.Name].(*types.Func); ok {
+					bodies[obj] = fnBody{decl, pkg}
 				}
 			}
 		}
 	}
+	return bodies
+}
 
+// closeCallGraph marks every function statically reachable from roots:
+// direct calls and method calls on named types, including those made inside
+// closures the root functions contain. Interface dispatch is not followed —
+// the concrete implementations of interest are roots themselves.
+func closeCallGraph(bodies map[*types.Func]fnBody, roots []*types.Func) map[*types.Func]bool {
 	reachable := make(map[*types.Func]bool)
 	work := append([]*types.Func(nil), roots...)
 	for _, r := range roots {
@@ -154,11 +167,100 @@ func checkHotReachable(u *Unit) {
 			return true
 		})
 	}
+	return reachable
+}
 
-	for f := range reachable {
+// checkHotReachable builds the static call graph, closes it over the kernel
+// package's functions, and flags string building inside the closure.
+func checkHotReachable(u *Unit) {
+	bodies := moduleBodies(u)
+	var roots []*types.Func
+	for f, b := range bodies {
+		if b.pkg.Path == u.Config.SimPkg {
+			roots = append(roots, f)
+		}
+	}
+	for f := range closeCallGraph(bodies, roots) {
 		b := bodies[f]
 		flagStringWork(u, b.pkg, f, b.decl.Body)
 	}
+}
+
+// checkVecAlloc closes the call graph over the vectorized engine's roots —
+// the functions VecPkg declares in files whose basename carries
+// VecFilePrefix — and flags per-row allocation of the configured row type
+// inside the closure.
+func checkVecAlloc(u *Unit) {
+	cfg := u.Config
+	if cfg.VecPkg == "" || cfg.VecFilePrefix == "" || cfg.VecTupleType == "" {
+		return
+	}
+	bodies := moduleBodies(u)
+	var roots []*types.Func
+	for f, b := range bodies {
+		if b.pkg.Path != cfg.VecPkg {
+			continue
+		}
+		base := filepath.Base(u.Fset.Position(b.decl.Pos()).Filename)
+		if strings.HasPrefix(base, cfg.VecFilePrefix) {
+			roots = append(roots, f)
+		}
+	}
+	for f := range closeCallGraph(bodies, roots) {
+		b := bodies[f]
+		flagTupleAlloc(u, b.pkg, f, b.decl.Body)
+	}
+}
+
+// isVecTuple reports whether t is the configured per-row type.
+func isVecTuple(cfg *Config, t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == cfg.VecTupleType && obj.Pkg() != nil && obj.Pkg().Path() == cfg.VecPkg
+}
+
+// flagTupleAlloc reports make(Tuple, …) and appends growing a []Tuple in
+// body: the per-row allocation patterns the columnar data plane bans.
+func flagTupleAlloc(u *Unit, pkg *Package, f *types.Func, body *ast.BlockStmt) {
+	cfg := u.Config
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		switch id.Name {
+		case "make":
+			if isVecTuple(cfg, typeOf(pkg.Info, call.Args[0])) {
+				u.Report(call.Pos(), "make(%s, …) in %s, which is reachable from the vectorized hot path; write into the columnar batch or the query arena instead",
+					cfg.VecTupleType, f.Name())
+			}
+		case "append":
+			if s, ok := sliceType(typeOf(pkg.Info, call.Args[0])); ok && isVecTuple(cfg, s.Elem()) {
+				u.Report(call.Pos(), "append of %s values in %s, which is reachable from the vectorized hot path; write into the columnar batch or the query arena instead",
+					cfg.VecTupleType, f.Name())
+			}
+		}
+		return true
+	})
+}
+
+// sliceType unwraps t to its underlying slice type, if it is one.
+func sliceType(t types.Type) (*types.Slice, bool) {
+	if t == nil {
+		return nil, false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	return s, ok
 }
 
 // flagStringWork reports Sprintf calls and runtime concats in body, skipping

@@ -89,3 +89,32 @@ func BenchmarkRun2WayQSFaultsChaos(b *testing.B) {
 	}
 	benchRun(b, cfg, annotate(leftDeepChain(2), plan.QueryShipping))
 }
+
+// BenchmarkRun10WayQSVec is BenchmarkRun10WayQS with the vectorized
+// batch-at-a-time engine: same query, same simulated timeline bit for bit
+// (the equality is asserted by TestVectorizedBitIdenticalGrid), columnar
+// data plane with coalesced charges. The ratio against BenchmarkRun10WayQS
+// is the headline speedup of the vectorized mode.
+func BenchmarkRun10WayQSVec(b *testing.B) {
+	cfg := chainConfig(b, 10, 4, workload.Moderate, true)
+	cfg.Params.Vectorized = true
+	benchRun(b, cfg, annotate(leftDeepChain(10), plan.QueryShipping))
+}
+
+// BenchmarkRun10WayDSVec is the vectorized data-shipping variant: the page
+// server and client pager dominate, bounding what vectorizing the operator
+// data plane can save.
+func BenchmarkRun10WayDSVec(b *testing.B) {
+	cfg := chainConfig(b, 10, 4, workload.Moderate, true)
+	cfg.Params.Vectorized = true
+	benchRun(b, cfg, annotate(leftDeepChain(10), plan.DataShipping))
+}
+
+// BenchmarkRunSpillVec is the vectorized min-alloc spill workload: columnar
+// partitions paged into the identical temp-extent layout, with the
+// simulated disk events shared with the legacy path.
+func BenchmarkRunSpillVec(b *testing.B) {
+	cfg := chainConfig(b, 10, 4, workload.Moderate, false)
+	cfg.Params.Vectorized = true
+	benchRun(b, cfg, annotate(leftDeepChain(10), plan.QueryShipping))
+}

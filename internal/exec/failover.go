@@ -428,8 +428,14 @@ func (e *engine) reportAttempt(att *attemptState, completed bool) {
 func (e *engine) runQuery(p *sim.Proc, qi int, root *plan.Node, base plan.Binding, qo QueryOpts) (queryOutcome, error) {
 	var out queryOutcome
 	if e.ftl == nil {
-		display := &displayOp{e: e, child: e.build(root.Left, base, base[root], nil)}
+		if e.cfg.Params.Vectorized {
+			out.tuples = e.runVec(p, root, base, nil)
+			return out, nil
+		}
+		ar := e.getArena()
+		display := &displayOp{e: e, child: e.build(root.Left, base, base[root], nil, ar)}
 		display.run(p)
+		e.putArena(ar)
 		out.tuples = display.tuples
 		return out, nil
 	}
@@ -507,7 +513,12 @@ func (e *engine) attemptOnce(p *sim.Proc, att *attemptState, root *plan.Node, b 
 		}
 	}()
 	e.registerAttempt(att)
-	display := &displayOp{e: e, child: e.build(root.Left, b, b[root], att)}
+	if e.cfg.Params.Vectorized {
+		return e.runVec(p, root, b, att), true
+	}
+	ar := e.getArena()
+	defer e.putArena(ar)
+	display := &displayOp{e: e, child: e.build(root.Left, b, b[root], att, ar)}
 	display.run(p)
 	return display.tuples, true
 }

@@ -36,6 +36,7 @@ type hhJoinOp struct {
 	chunkPages int // extent chunk per spilled partition
 
 	table      map[uint64][]Tuple
+	arena      *mergeArena // query-lifetime storage for merged output tuples
 	innerParts []*partition
 	outerParts []*partition
 
@@ -125,8 +126,68 @@ func (pt *partition) flush(e *engine, p *sim.Proc, s *site) {
 	pt.drain(e, p, s)
 }
 
+// joinAlloc is a hybrid hash join's memory grant: the buffer pages, the
+// spilled partition count, the hash-space share of the in-memory partition,
+// and the temp-extent chunk size. The page-at-a-time and vectorized joins
+// share this computation (and route below), so their partitioning — hence
+// every spill address and charge — is identical by construction.
+type joinAlloc struct {
+	memPages   int
+	nParts     int     // spilled partitions (0 = fully in-memory)
+	frac0      float64 // hash-space share of the in-memory partition
+	chunkPages int     // extent chunk per spilled partition
+}
+
+func (e *engine) joinAllocFor(innerPages, outerPages int) joinAlloc {
+	var al joinAlloc
+	fn := e.cfg.Params.FudgeF * float64(innerPages)
+	if e.cfg.Params.MaxAlloc {
+		al.memPages = int(math.Ceil(fn)) + 1
+		al.nParts = 0
+		al.frac0 = 1
+		return al
+	}
+	al.memPages = int(math.Ceil(math.Sqrt(fn)))
+	if al.memPages < 2 {
+		al.memPages = 2
+	}
+	b := int(math.Ceil((fn - float64(al.memPages)) / float64(al.memPages-1)))
+	if b < 0 {
+		b = 0
+	}
+	al.nParts = b
+	if b > 0 {
+		p0 := al.memPages - b
+		if p0 < 0 {
+			p0 = 0
+		}
+		al.frac0 = float64(p0) / fn
+		bigger := innerPages
+		if outerPages > bigger {
+			bigger = outerPages
+		}
+		al.chunkPages = int(math.Ceil(params(e).FudgeF*float64(bigger)/float64(b))) + 2
+	} else {
+		al.frac0 = 1
+	}
+	return al
+}
+
+// route picks the partition for a hash value: 0 is the in-memory partition.
+func (al joinAlloc) route(h uint64) int {
+	if al.nParts == 0 {
+		return 0
+	}
+	// Use high bits for the memory/spill split and low bits for the spilled
+	// partition number, keeping the two decisions independent.
+	if float64(h>>40)/float64(1<<24) < al.frac0 {
+		return 0
+	}
+	return 1 + int(h%uint64(al.nParts))
+}
+
 func (e *engine) newHHJoin(at catalog.SiteID, inner, outer iterator,
-	innerTables, outerTables map[string]bool, innerPages, outerPages int) *hhJoinOp {
+	innerTables, outerTables map[string]bool, innerPages, outerPages int, ar *mergeArena) *hhJoinOp {
 	j := &hhJoinOp{
 		e:      e,
 		atSite: e.site(at),
@@ -135,53 +196,17 @@ func (e *engine) newHHJoin(at catalog.SiteID, inner, outer iterator,
 		bkey:   newKeyer(e.cfg.Query, e.relIdx, innerTables, outerTables, e.cfg.Next),
 		pkey:   newKeyer(e.cfg.Query, e.relIdx, outerTables, innerTables, e.cfg.Next),
 		tpp:    tuplesPerPage(e.cfg.Params.PageSize, e.cfg.Query.ResultTupleBytes),
+		arena:  ar,
 	}
-	fn := e.cfg.Params.FudgeF * float64(innerPages)
-	if e.cfg.Params.MaxAlloc {
-		j.memPages = int(math.Ceil(fn)) + 1
-		j.nParts = 0
-		j.frac0 = 1
-	} else {
-		j.memPages = int(math.Ceil(math.Sqrt(fn)))
-		if j.memPages < 2 {
-			j.memPages = 2
-		}
-		b := int(math.Ceil((fn - float64(j.memPages)) / float64(j.memPages-1)))
-		if b < 0 {
-			b = 0
-		}
-		j.nParts = b
-		if b > 0 {
-			p0 := j.memPages - b
-			if p0 < 0 {
-				p0 = 0
-			}
-			j.frac0 = float64(p0) / fn
-			bigger := innerPages
-			if outerPages > bigger {
-				bigger = outerPages
-			}
-			j.chunkPages = int(math.Ceil(params(e).FudgeF*float64(bigger)/float64(b))) + 2
-		} else {
-			j.frac0 = 1
-		}
-	}
+	al := e.joinAllocFor(innerPages, outerPages)
+	j.memPages, j.nParts, j.frac0, j.chunkPages = al.memPages, al.nParts, al.frac0, al.chunkPages
 	return j
 }
 
 func params(e *engine) Params { return e.cfg.Params }
 
-// route picks the partition for a hash value: 0 is the in-memory partition.
 func (j *hhJoinOp) route(h uint64) int {
-	if j.nParts == 0 {
-		return 0
-	}
-	// Use high bits for the memory/spill split and low bits for the spilled
-	// partition number, keeping the two decisions independent.
-	if float64(h>>40)/float64(1<<24) < j.frac0 {
-		return 0
-	}
-	return 1 + int(h%uint64(j.nParts))
+	return joinAlloc{nParts: j.nParts, frac0: j.frac0}.route(h)
 }
 
 func (j *hhJoinOp) open(p *sim.Proc) {
@@ -231,7 +256,7 @@ func (j *hhJoinOp) probe(p *sim.Proc, t Tuple, h uint64, pv []int64) {
 	var matched int
 	for _, b := range cands {
 		if eqVals(j.bkey.values(b), pv) {
-			j.outBuf = append(j.outBuf, merge(b, t))
+			j.outBuf = append(j.outBuf, j.arena.merge(b, t))
 			matched++
 		}
 	}

@@ -41,6 +41,11 @@ func baseTuple(nRels, idx int, id int64) Tuple {
 // merge combines the slots of two tuples from disjoint relation sets.
 func merge(a, b Tuple) Tuple {
 	out := make(Tuple, len(a))
+	mergeInto(out, a, b)
+	return out
+}
+
+func mergeInto(out, a, b Tuple) {
 	for i := range a {
 		switch {
 		case a[i] != absent:
@@ -51,8 +56,58 @@ func merge(a, b Tuple) Tuple {
 			out[i] = absent
 		}
 	}
+}
+
+// mergeArena bump-allocates the backing storage of join-output tuples,
+// removing the per-match make in the probe-emit hot path. Tuples are
+// read-only once produced, and everything a query merges stays live at most
+// until its last page is displayed — so the arena's lifetime is one query,
+// and the engine recycles it across queries through a free list.
+//
+// When a chunk fills, the arena starts a fresh chunk and abandons the old
+// backing array to the tuples already handed out (it must never append-grow
+// in place: that would move the array under live tuples).
+type mergeArena struct {
+	buf   []int64
+	chunk int
+}
+
+const (
+	mergeArenaMinChunk = 1 << 12 // int64s; first chunk
+	mergeArenaMaxChunk = 1 << 20 // chunk growth cap
+)
+
+// alloc returns an uninitialized tuple of width w backed by the arena.
+func (a *mergeArena) alloc(w int) Tuple {
+	if cap(a.buf)-len(a.buf) < w {
+		a.chunk *= 2
+		if a.chunk < mergeArenaMinChunk {
+			a.chunk = mergeArenaMinChunk
+		}
+		if a.chunk > mergeArenaMaxChunk {
+			a.chunk = mergeArenaMaxChunk
+		}
+		if a.chunk < w {
+			a.chunk = w
+		}
+		a.buf = make([]int64, 0, a.chunk)
+	}
+	n := len(a.buf)
+	a.buf = a.buf[:n+w]
+	return Tuple(a.buf[n : n+w : n+w])
+}
+
+// merge is merge() into arena storage.
+func (a *mergeArena) merge(x, y Tuple) Tuple {
+	out := a.alloc(len(x))
+	mergeInto(out, x, y)
 	return out
 }
+
+// reset recycles the arena for its next query: the current chunk is reused
+// in place (its previous contents are dead), older chunks stay with the
+// garbage collector.
+func (a *mergeArena) reset() { a.buf = a.buf[:0] }
 
 // joinKeys evaluates, for one side of a join, the key values of the crossing
 // predicates. For predicate A.next = B.id the side containing A contributes

@@ -1,0 +1,170 @@
+package exec
+
+import (
+	"hybridship/internal/sim"
+)
+
+// This file is the data plane of the vectorized execution mode
+// (Params.Vectorized): columnar batches, the engine-wide batch pool, and the
+// charge accumulator that coalesces per-page CPU charges into one
+// sim.Resource.UseRun per batch run. The operators live in vops.go and
+// vjoin.go, the build-side hash table in vhash.go.
+//
+// The mode's contract is bit-identity with the page-at-a-time engine: same
+// Result, same per-site disk stats, same net traffic, at every policy,
+// BatchPages setting, and fault schedule. Three rules keep that true:
+//
+//  1. A batch carries exactly one page's tuples. Page boundaries decide
+//     charge amounts (CompareInst×tuples-per-page, one message per page, …),
+//     so the flow quantum must stay the page; vectorization changes the
+//     representation of a page (one flat []int64 instead of tpp separate
+//     Tuple allocations), never its size.
+//  2. Charge parts are the legacy charges, amount for amount and in the same
+//     order. Only their kernel realization is coalesced, and only through
+//     UseRun, whose quiet-window path is proven bit-equivalent to the
+//     per-part sequence (see sim.Resource.UseRun).
+//  3. The accumulator is flushed before every kernel-visible operation —
+//     disk I/O, network transmit, buffer put/get, spawn, any direct
+//     chargeCPU — so the interleaving of charges with every other event in
+//     the simulation is exactly the legacy engine's.
+
+// colBatch is one page of tuples in columnar form: column c of a
+// w-column batch occupies data[c*stride : c*stride+n]. Row i's tuple is
+// (data[0*stride+i], data[1*stride+i], …), with absent slots holding -1,
+// exactly the legacy Tuple layout transposed.
+type colBatch struct {
+	data   []int64
+	w      int // columns (tuple width)
+	n      int // rows in use
+	stride int // rows of capacity per column
+}
+
+// col returns column c, sized to the batch's row capacity.
+func (b *colBatch) col(c int) []int64 {
+	return b.data[c*b.stride : c*b.stride+b.stride]
+}
+
+// batchCols resolves every column of b into dst (a reused scratch slice).
+func batchCols(b *colBatch, dst [][]int64) [][]int64 {
+	dst = dst[:0]
+	for c := 0; c < b.w; c++ {
+		dst = append(dst, b.col(c))
+	}
+	return dst
+}
+
+// vecPool recycles the vectorized mode's backing storage across batches,
+// operators, and queries. The kernel runs one process at a time, so plain
+// free lists suffice; nothing here ever touches the event schedule (which a
+// sim.Buffer-based pool would).
+type vecPool struct {
+	batches []*colBatch
+	tables  []*vtable
+}
+
+// get returns a batch with w columns and room for rows rows, n = 0.
+func (vp *vecPool) get(w, rows int) *colBatch {
+	var b *colBatch
+	if n := len(vp.batches); n > 0 {
+		b = vp.batches[n-1]
+		vp.batches = vp.batches[:n-1]
+	} else {
+		b = &colBatch{}
+	}
+	if need := w * rows; cap(b.data) < need {
+		b.data = make([]int64, need)
+	}
+	b.data = b.data[:w*rows]
+	b.w, b.n, b.stride = w, 0, rows
+	return b
+}
+
+// put recycles a batch. Ownership transfers with the batch: an operator that
+// received a batch from its child either releases it here or hands it on.
+func (vp *vecPool) put(b *colBatch) {
+	if b != nil {
+		vp.batches = append(vp.batches, b)
+	}
+}
+
+func (vp *vecPool) getTable(w, kw int) *vtable {
+	if n := len(vp.tables); n > 0 {
+		t := vp.tables[n-1]
+		vp.tables = vp.tables[:n-1]
+		t.reshape(w, kw)
+		return t
+	}
+	return newVTable(w, kw)
+}
+
+func (vp *vecPool) putTable(t *vtable) {
+	if t != nil {
+		vp.tables = append(vp.tables, t)
+	}
+}
+
+// chargeAcc accumulates the CPU charges one process incurs between two
+// kernel-visible operations and realizes them as a single
+// sim.Resource.UseRun. Each process that runs operators owns exactly one:
+// the query's main process, and every network-pair producer daemon.
+type chargeAcc struct {
+	site  *site
+	parts []sim.Time
+}
+
+// add queues one legacy chargeCPU(instr). Amounts and order must equal the
+// page-at-a-time engine's charge sequence exactly; instr <= 0 is skipped
+// just as chargeCPU skips it. pr is a pointer because add sits on per-row
+// paths where copying Params would dominate.
+func (a *chargeAcc) add(p *sim.Proc, s *site, pr *Params, instr float64) {
+	if instr <= 0 {
+		return
+	}
+	if a.site != s {
+		a.flush(p)
+		a.site = s
+	}
+	// Inlined Params.cpuTime (same expression, so the same float64 result);
+	// calling the value-receiver method here would copy Params per charge.
+	a.parts = append(a.parts, sim.Time(instr/(pr.Mips*1e6)))
+}
+
+// flush realizes the pending charges. Callers invoke it immediately before
+// any kernel-visible operation, and at the end of the query.
+func (a *chargeAcc) flush(p *sim.Proc) {
+	if len(a.parts) == 0 {
+		return
+	}
+	a.site.cpu.UseRun(p, a.parts)
+	a.parts = a.parts[:0]
+}
+
+// vring is a FIFO of ready output batches (an operator can complete several
+// pages from one input batch; they are handed out one per next call).
+type vring struct {
+	q    []*colBatch
+	head int
+}
+
+func (r *vring) empty() bool { return r.head >= len(r.q) }
+
+func (r *vring) push(b *colBatch) { r.q = append(r.q, b) }
+
+func (r *vring) pop() *colBatch {
+	b := r.q[r.head]
+	r.q[r.head] = nil
+	r.head++
+	if r.head == len(r.q) {
+		r.q = r.q[:0]
+		r.head = 0
+	}
+	return b
+}
+
+// drainTo releases every queued batch back to the pool (abandoned output on
+// operator close).
+func (r *vring) drainTo(vp *vecPool) {
+	for !r.empty() {
+		vp.put(r.pop())
+	}
+}

@@ -1,0 +1,378 @@
+package exec
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"hybridship/internal/catalog"
+	"hybridship/internal/faults"
+	"hybridship/internal/plan"
+	"hybridship/internal/sim"
+	"hybridship/internal/workload"
+)
+
+// hybridChain builds a left-deep chain annotated with a deliberately mixed
+// HY-policy assignment: join annotations cycle through consumer/inner/outer
+// and selects alternate consumer/producer, so the plan exercises
+// client-side joins, server-side joins, and both network-pair directions in
+// one query.
+func hybridChain(n int) *plan.Node {
+	root := leftDeepChain(n)
+	joins, sels := 0, 0
+	joinAnns := []plan.Annotation{plan.AnnConsumer, plan.AnnInner, plan.AnnOuter}
+	root.Walk(func(nd *plan.Node) {
+		switch nd.Kind {
+		case plan.KindDisplay:
+			nd.Ann = plan.AnnClient
+		case plan.KindScan:
+			nd.Ann = plan.AnnPrimary
+		case plan.KindJoin:
+			nd.Ann = joinAnns[joins%len(joinAnns)]
+			joins++
+		case plan.KindSelect, plan.KindAgg:
+			if sels%2 == 0 {
+				nd.Ann = plan.AnnConsumer
+			} else {
+				nd.Ann = plan.AnnProducer
+			}
+			sels++
+		}
+	})
+	return root
+}
+
+// runVecPair executes the same configuration with Params.Vectorized off and
+// on and returns both Results. mut customizes the config after the common
+// chain setup; the plan is built by mkPlan.
+func runVecPair(t *testing.T, n, servers int, maxAlloc bool, mkPlan func() *plan.Node,
+	mut func(*Config)) (legacy, vec Result) {
+	t.Helper()
+	run := func(vectorized bool) Result {
+		cfg := chainConfig(t, n, servers, workload.Moderate, maxAlloc)
+		if mut != nil {
+			mut(&cfg)
+		}
+		cfg.Params.Vectorized = vectorized
+		res, err := Run(cfg, mkPlan())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	return run(false), run(true)
+}
+
+// TestVectorizedBitIdenticalGrid is the tentpole's contract test: across
+// policies (QS, DS, and a mixed hybrid plan), batching settings, and both
+// join memory allocations (min-alloc forces the spill passes), the
+// vectorized engine must reproduce the page-at-a-time Result bit for bit —
+// response time, per-site disk stats, and network counters included.
+func TestVectorizedBitIdenticalGrid(t *testing.T) {
+	plans := []struct {
+		name string
+		mk   func() *plan.Node
+	}{
+		{"qs", func() *plan.Node { return annotate(leftDeepChain(5), plan.QueryShipping) }},
+		{"ds", func() *plan.Node { return annotate(leftDeepChain(5), plan.DataShipping) }},
+		{"hy", func() *plan.Node { return hybridChain(5) }},
+	}
+	for _, pc := range plans {
+		for _, batch := range []int{0, 4, 8} {
+			for _, maxAlloc := range []bool{true, false} {
+				name := fmt.Sprintf("%s/batch=%d/maxalloc=%v", pc.name, batch, maxAlloc)
+				t.Run(name, func(t *testing.T) {
+					legacy, vec := runVecPair(t, 5, 2, maxAlloc, pc.mk, func(cfg *Config) {
+						cfg.Params.BatchPages = batch
+					})
+					if !reflect.DeepEqual(vec, legacy) {
+						t.Errorf("vectorized Result diverged:\n got %+v\nwant %+v", vec, legacy)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestVectorizedBitIdenticalFaults extends the bit-identity contract to
+// failure-aware execution: a scripted mid-query crash (abort, backoff,
+// retry) and a stochastic crash/restart stream must play out identically —
+// retries, aborted work, backoff time, and fault stats included.
+func TestVectorizedBitIdenticalFaults(t *testing.T) {
+	cases := []struct {
+		name      string
+		batch     int
+		wantRetry bool
+		fc        faults.Config
+	}{
+		{"scripted-crash", 0, true, faults.Config{
+			Seed:   7,
+			Script: []faults.Event{{At: 1.0, Kind: faults.SiteCrash, Site: 0, Duration: 2.0}},
+		}},
+		{"scripted-crash-batched", 8, true, faults.Config{
+			Seed:   7,
+			Script: []faults.Event{{At: 1.0, Kind: faults.SiteCrash, Site: 0, Duration: 2.0}},
+		}},
+		{"chaos", 0, false, faults.Config{
+			Seed:       1,
+			SiteMTBF:   20,
+			SiteMTTR:   1,
+			MaxRetries: 200,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fc := tc.fc
+			legacy, vec := runVecPair(t, 2, 1, true,
+				func() *plan.Node { return annotate(leftDeepChain(2), plan.QueryShipping) },
+				func(cfg *Config) {
+					cfg.Params.BatchPages = tc.batch
+					cfg.Faults = &fc
+				})
+			if tc.wantRetry && legacy.Retries < 1 {
+				t.Fatalf("fault case produced no retries (Retries = %d); the scenario is not exercising failover", legacy.Retries)
+			}
+			if !reflect.DeepEqual(vec, legacy) {
+				t.Errorf("vectorized faulted Result diverged:\n got %+v\nwant %+v", vec, legacy)
+			}
+		})
+	}
+}
+
+// TestVectorizedTraceIdentical is the strongest calibration check: with a
+// Trace installed, UseRun falls back to per-part charges and the kernel
+// fast path is disabled, so the vectorized engine must produce the exact
+// dispatch log of the legacy engine — every process name, wakeup, and
+// charge at the same virtual time, in the same order.
+func TestVectorizedTraceIdentical(t *testing.T) {
+	run := func(vectorized bool) (Result, []string) {
+		var log []string
+		cfg := chainConfig(t, 4, 2, workload.Moderate, false)
+		cfg.Trace = func(at sim.Time, ev string) {
+			log = append(log, fmt.Sprintf("%.12g %s", float64(at), ev))
+		}
+		cfg.Params.Vectorized = vectorized
+		res, err := Run(cfg, annotate(leftDeepChain(4), plan.QueryShipping))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, log
+	}
+	lres, llog := run(false)
+	vres, vlog := run(true)
+	if !reflect.DeepEqual(vres, lres) {
+		t.Errorf("traced vectorized Result diverged:\n got %+v\nwant %+v", vres, lres)
+	}
+	if len(vlog) != len(llog) {
+		t.Fatalf("trace length diverged: vectorized %d events, legacy %d", len(vlog), len(llog))
+	}
+	for i := range llog {
+		if vlog[i] != llog[i] {
+			t.Fatalf("trace diverged at event %d:\n got %q\nwant %q", i, vlog[i], llog[i])
+		}
+	}
+}
+
+// TestVectorizedPartialPageTraceIdentical locks down calibration when
+// relation cardinalities are not multiples of tuples-per-page, so every scan
+// ends on a partial page. The trailing build-page hash charge then has no
+// later batch to flush it, which is exactly the case that once let a join
+// spawn its probe-side producer daemon before realizing the charge (fixed by
+// flushing the consumer accumulator in vnetPair.vopen). Trace comparison
+// catches any such scheduling skew even when the end-to-end Result happens
+// to agree.
+func TestVectorizedPartialPageTraceIdentical(t *testing.T) {
+	const tuples = 60 // tpp is 40 at 4096/100, so every relation is 40+20
+	mkCat := func(n, servers int) *catalog.Catalog {
+		cat := catalog.New(4096, servers)
+		for i, home := range workload.PlaceRoundRobin(n, servers) {
+			if err := cat.AddRelation(catalog.Relation{
+				Name: workload.RelName(i), Tuples: tuples,
+				TupleBytes: workload.DefaultTupleBytes, Home: home,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return cat
+	}
+	for _, pol := range []plan.Policy{plan.DataShipping, plan.QueryShipping} {
+		for _, maxAlloc := range []bool{true, false} {
+			t.Run(fmt.Sprintf("%v/maxalloc=%v", pol, maxAlloc), func(t *testing.T) {
+				run := func(vectorized bool) (Result, []string) {
+					var log []string
+					params := DefaultParams()
+					params.MaxAlloc = maxAlloc
+					params.Vectorized = vectorized
+					cfg := Config{
+						Params:  params,
+						Catalog: mkCat(3, 2),
+						Query:   workload.ChainQuery(3, workload.Moderate),
+						Next:    workload.Next(workload.Moderate),
+						Seed:    1,
+						Trace: func(at sim.Time, ev string) {
+							log = append(log, fmt.Sprintf("%.12g %s", float64(at), ev))
+						},
+					}
+					res, err := Run(cfg, annotate(leftDeepChain(3), pol))
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res, log
+				}
+				lres, llog := run(false)
+				vres, vlog := run(true)
+				if !reflect.DeepEqual(vres, lres) {
+					t.Errorf("partial-page vectorized Result diverged:\n got %+v\nwant %+v", vres, lres)
+				}
+				if len(vlog) != len(llog) {
+					t.Fatalf("trace length diverged: vectorized %d events, legacy %d", len(vlog), len(llog))
+				}
+				for i := range llog {
+					if vlog[i] != llog[i] {
+						t.Fatalf("trace diverged at event %d:\n got %q\nwant %q", i, vlog[i], llog[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestVectorizedDeterministic repeats one vectorized execution and requires
+// bit-identical Results — under -race this also checks the engine-wide
+// batch/table pools stay confined to the simulation's cooperative
+// scheduling regardless of GOMAXPROCS.
+func TestVectorizedDeterministic(t *testing.T) {
+	run := func() Result {
+		cfg := chainConfig(t, 5, 2, workload.Moderate, false)
+		cfg.Params.Vectorized = true
+		cfg.ServerLoad = map[catalog.SiteID]float64{0: 40}
+		res, err := Run(cfg, annotate(leftDeepChain(5), plan.QueryShipping))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run()
+	for i := 0; i < 3; i++ {
+		if got := run(); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("vectorized run %d diverged:\n got %+v\nwant %+v", i+1, got, ref)
+		}
+	}
+}
+
+// TestVectorizedSessionMatches checks the serving path: a Session picks the
+// vectorized engine up from Config.Params with no extra wiring, and its
+// QueryResults and traffic counters match the page-at-a-time session.
+func TestVectorizedSessionMatches(t *testing.T) {
+	run := func(vectorized bool) (QueryResult, float64, int64) {
+		cfg := chainConfig(t, 3, 2, workload.Moderate, true)
+		cfg.Params.Vectorized = vectorized
+		ses, err := NewSession(cfg, SessionOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qr, qerr := runOnSession(t, ses, annotate(leftDeepChain(3), plan.QueryShipping), QueryOpts{})
+		if qerr != nil {
+			t.Fatal(qerr)
+		}
+		return qr, ses.Now(), ses.NetStats().DataPages
+	}
+	lqr, lend, lpages := run(false)
+	vqr, vend, vpages := run(true)
+	if !reflect.DeepEqual(vqr, lqr) || vend != lend || vpages != lpages {
+		t.Errorf("vectorized session diverged: got (%+v, end %g, pages %d), want (%+v, end %g, pages %d)",
+			vqr, vend, vpages, lqr, lend, lpages)
+	}
+}
+
+// TestVecProbeEmitZeroAlloc pins the hot-path allocation contract: once the
+// scratch vectors, output page, and charge parts are warm, probing a batch
+// of rows — candidate walk, key compares, merged emits, charge accrual —
+// allocates nothing.
+func TestVecProbeEmitZeroAlloc(t *testing.T) {
+	cfg := chainConfig(t, 2, 1, workload.Moderate, true)
+	cfg.Params.Vectorized = true
+	e, err := newEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := map[string]bool{"R0": true}
+	outer := map[string]bool{"R1": true}
+	j := e.newVHHJoin(catalog.Client, nil, nil, inner, outer, 4, 4, &chargeAcc{site: e.client})
+	j.table = e.vp.getTable(j.w, len(j.bkey.slots))
+
+	// Build: one page of R0 rows keyed on their own ids.
+	build := e.vp.get(j.w, j.tpp)
+	build.n = j.tpp
+	for c := 0; c < j.w; c++ {
+		col := build.col(c)
+		for i := range col {
+			col[i] = absent
+			if c == e.relIdx["R0"] {
+				col[i] = int64(i)
+			}
+		}
+	}
+	j.icols = batchCols(build, j.icols)
+	j.ikcols = j.bkey.slotCols(j.icols, j.ikcols)
+	j.ikeyv = j.bkey.evalCols(j.ikcols, build.n, j.ikeyv)
+	j.ihash = hashKeyCols(j.ikeyv, build.n, j.ihash)
+	for i := 0; i < build.n; i++ {
+		j.insertRow(j.icols, j.ikeyv, i, j.ihash[i])
+	}
+
+	// Probe batch: R1 rows whose Next(R1, id) walks back into R0's ids.
+	probe := e.vp.get(j.w, j.tpp)
+	probe.n = j.tpp
+	for c := 0; c < j.w; c++ {
+		col := probe.col(c)
+		for i := range col {
+			col[i] = absent
+			if c == e.relIdx["R1"] {
+				col[i] = int64(i)
+			}
+		}
+	}
+	j.ocols = batchCols(probe, j.ocols)
+	j.okcols = j.pkey.slotCols(j.ocols, j.okcols)
+	j.okeyv = j.pkey.evalCols(j.okcols, probe.n, j.okeyv)
+	j.ohash = hashKeyCols(j.okeyv, probe.n, j.ohash)
+
+	probeBatch := func() {
+		for i := 0; i < probe.n; i++ {
+			j.probeRow(nil, j.ocols, j.okeyv, i, j.ohash[i])
+		}
+		j.rdy.drainTo(&e.vp)
+		e.vp.put(j.cur)
+		j.cur = nil
+		j.acc.parts = j.acc.parts[:0]
+	}
+	probeBatch() // warm the output page, ready ring, and charge parts
+	if avg := testing.AllocsPerRun(50, probeBatch); avg != 0 {
+		t.Errorf("probe-emit allocates %.2f allocs per batch, want 0", avg)
+	}
+	if j.outCount == 0 {
+		t.Fatal("probe produced no matches; the guard is not exercising the emit path")
+	}
+}
+
+// TestMergeArenaSteadyStateZeroAlloc is the legacy-path counterpart: the
+// page-at-a-time join's probe-emit merge draws from the per-query arena, so
+// a reset-and-refill cycle that fits the warm chunk allocates nothing.
+func TestMergeArenaSteadyStateZeroAlloc(t *testing.T) {
+	ar := &mergeArena{}
+	a := Tuple{1, absent, 3, absent, 5, absent, 7, absent}
+	b := Tuple{absent, 2, absent, 4, absent, 6, absent, 8}
+	cycle := func() {
+		ar.reset()
+		for i := 0; i < 512; i++ {
+			if out := ar.merge(a, b); out[1] != 2 || out[0] != 1 {
+				t.Fatal("arena merge produced a wrong tuple")
+			}
+		}
+	}
+	cycle() // grow the chunk once
+	if avg := testing.AllocsPerRun(50, cycle); avg != 0 {
+		t.Errorf("steady-state arena merge allocates %.2f allocs per cycle, want 0", avg)
+	}
+}

@@ -1,0 +1,231 @@
+package exec
+
+// vtable is the vectorized join's build-side hash table, replacing the
+// legacy map[uint64][]Tuple. It must reproduce the map's candidate
+// semantics exactly, because the candidate count is charged CPU
+// (CompareInst × candidates) and the match order shapes every downstream
+// page boundary: a probe's candidates are the entries whose full 64-bit
+// hash equals the probe hash, in insertion order (the map appended per
+// exact hash value). Bucket chains are tail-appended, so walking a chain
+// and filtering on the stored hash yields precisely that sequence.
+//
+// Storage is columnar and arena-like: entry e's tuple is
+// (cols[0][e], …, cols[w-1][e]) and its precomputed join-key vector is
+// (keys[0][e], …, keys[kw-1][e]). Key values are computed once at insert —
+// unobservable, since key extraction is pure and the legacy engine charges
+// only for the comparisons, which still happen per candidate at probe time.
+type vtable struct {
+	head, tail []int32 // per bucket: first/last entry, -1 when empty
+	mask       uint64
+	hashes     []uint64
+	next       []int32   // per entry: next in bucket chain, -1 at tail
+	cols       [][]int64 // w tuple columns
+	keys       [][]int64 // kw key-value columns
+}
+
+const vtableMinBuckets = 1 << 10
+
+func newVTable(w, kw int) *vtable {
+	t := &vtable{cols: make([][]int64, w), keys: make([][]int64, kw)}
+	t.rehash(vtableMinBuckets)
+	return t
+}
+
+// reshape readies a pooled table for a join with the given widths, keeping
+// whatever backing arrays fit.
+func (t *vtable) reshape(w, kw int) {
+	t.cols = reshapeCols(t.cols, w)
+	t.keys = reshapeCols(t.keys, kw)
+	t.hashes = t.hashes[:0]
+	t.next = t.next[:0]
+	t.rehash(len(t.head))
+}
+
+func reshapeCols(cols [][]int64, w int) [][]int64 {
+	for len(cols) < w {
+		cols = append(cols, nil)
+	}
+	cols = cols[:w]
+	for c := range cols {
+		cols[c] = cols[c][:0]
+	}
+	return cols
+}
+
+// reset clears the table for the next partition pass, keeping all storage.
+func (t *vtable) reset() {
+	t.hashes = t.hashes[:0]
+	t.next = t.next[:0]
+	t.cols = reshapeCols(t.cols, len(t.cols))
+	t.keys = reshapeCols(t.keys, len(t.keys))
+	for i := range t.head {
+		t.head[i] = -1
+	}
+}
+
+// rehash sizes the bucket array and relinks every entry in insertion order.
+func (t *vtable) rehash(buckets int) {
+	if buckets < vtableMinBuckets {
+		buckets = vtableMinBuckets
+	}
+	if cap(t.head) >= buckets {
+		t.head = t.head[:buckets]
+		t.tail = t.tail[:buckets]
+	} else {
+		t.head = make([]int32, buckets)
+		t.tail = make([]int32, buckets)
+	}
+	t.mask = uint64(buckets - 1)
+	for i := range t.head {
+		t.head[i] = -1
+	}
+	for e := range t.hashes {
+		t.link(int32(e))
+	}
+}
+
+func (t *vtable) link(e int32) {
+	b := t.hashes[e] & t.mask
+	if t.head[b] < 0 {
+		t.head[b] = e
+	} else {
+		t.next[t.tail[b]] = e
+	}
+	t.tail[b] = e
+	t.next[e] = -1
+}
+
+// reserve pre-sizes the empty table for an expected row count (the
+// optimizer's estimate): buckets below the load threshold insert would
+// trigger at, entry and column storage at full capacity. Purely an
+// allocation hint — estimates only move memory around, never semantics.
+func (t *vtable) reserve(rows int) {
+	if rows <= 0 || len(t.hashes) > 0 {
+		return
+	}
+	buckets := vtableMinBuckets
+	for buckets*3 < rows*4 {
+		buckets <<= 1
+	}
+	if buckets > len(t.head) {
+		t.rehash(buckets)
+	}
+	if cap(t.hashes) < rows {
+		t.hashes = make([]uint64, 0, rows)
+		t.next = make([]int32, 0, rows)
+	}
+	for c := range t.cols {
+		if cap(t.cols[c]) < rows {
+			t.cols[c] = make([]int64, 0, rows)
+		}
+	}
+	for s := range t.keys {
+		if cap(t.keys[s]) < rows {
+			t.keys[s] = make([]int64, 0, rows)
+		}
+	}
+}
+
+// insert adds an entry for hash h and returns its index; the caller appends
+// the tuple and key columns (which must stay aligned with the entry index).
+func (t *vtable) insert(h uint64) int32 {
+	e := int32(len(t.hashes))
+	t.hashes = append(t.hashes, h)
+	t.next = append(t.next, -1)
+	if len(t.hashes)*4 > len(t.head)*3 {
+		t.rehash(len(t.head) * 2) // relinks e too
+	} else {
+		t.link(e)
+	}
+	return e
+}
+
+// candidates appends to dst the entries whose hash equals h, in insertion
+// order — the legacy map bucket for h.
+func (t *vtable) candidates(h uint64, dst []int32) []int32 {
+	for e := t.head[h&t.mask]; e >= 0; e = t.next[e] {
+		if t.hashes[e] == h {
+			dst = append(dst, e)
+		}
+	}
+	return dst
+}
+
+// Columnar key extraction: the vectorized counterparts of keyer.key and
+// keyer.values, bit-identical FNV-1a folds over the same slot/Next schedule,
+// computed a column at a time so the per-row hot loops never call through
+// the keyer's Next indirection or re-branch on applyNx.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// slotCols resolves the keyer's slot columns out of a full column set into
+// dst (a reused scratch slice).
+func (k *keyer) slotCols(cols [][]int64, dst [][]int64) [][]int64 {
+	dst = dst[:0]
+	for _, slot := range k.slots {
+		dst = append(dst, cols[slot])
+	}
+	return dst
+}
+
+// evalCols materializes the evaluated key values (Next applied where the
+// keyer's schedule says so) for rows [0,n) of the resolved slot columns into
+// dst, one reused scratch column per slot. Row i of the result is exactly
+// keyer.values of row i.
+func (k *keyer) evalCols(kcols [][]int64, n int, dst [][]int64) [][]int64 {
+	for len(dst) < len(kcols) {
+		dst = append(dst, nil)
+	}
+	dst = dst[:len(kcols)]
+	for s := range kcols {
+		col := dst[s]
+		if cap(col) < n {
+			col = make([]int64, n)
+		}
+		col = col[:n]
+		src := kcols[s]
+		if k.applyNx[s] {
+			rel, nx := k.rels[s], k.next
+			for i := 0; i < n; i++ {
+				col[i] = nx(rel, src[i])
+			}
+		} else {
+			copy(col, src[:n])
+		}
+		dst[s] = col
+	}
+	return dst
+}
+
+// hashKeyCols folds the composite FNV-1a key hash for rows [0,n) of
+// already-evaluated key columns into dst. Row i equals keyer.key of row i
+// bit for bit: same fold order (slot-major, low byte first), same arithmetic
+// shift on the signed value.
+func hashKeyCols(keyv [][]int64, n int, dst []uint64) []uint64 {
+	if cap(dst) < n {
+		dst = make([]uint64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = fnvOffset64
+	}
+	for s := range keyv {
+		col := keyv[s][:n]
+		for i := 0; i < n; i++ {
+			h, v := dst[i], col[i]
+			h = (h ^ (uint64(v) & 0xff)) * fnvPrime64
+			h = (h ^ (uint64(v>>8) & 0xff)) * fnvPrime64
+			h = (h ^ (uint64(v>>16) & 0xff)) * fnvPrime64
+			h = (h ^ (uint64(v>>24) & 0xff)) * fnvPrime64
+			h = (h ^ (uint64(v>>32) & 0xff)) * fnvPrime64
+			h = (h ^ (uint64(v>>40) & 0xff)) * fnvPrime64
+			h = (h ^ (uint64(v>>48) & 0xff)) * fnvPrime64
+			h = (h ^ (uint64(v>>56) & 0xff)) * fnvPrime64
+			dst[i] = h
+		}
+	}
+	return dst
+}

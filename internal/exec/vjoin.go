@@ -1,0 +1,402 @@
+package exec
+
+import (
+	"hybridship/internal/catalog"
+	"hybridship/internal/sim"
+)
+
+// vpartition is one spilled partition of the vectorized join: all its rows
+// in columnar storage, paged into the same temp-extent layout — chunk
+// allocations, page addresses, spill runs, and charges — as the legacy
+// partition, so the disk traffic is identical by construction.
+type vpartition struct {
+	cols   [][]int64 // w columns, every row in insertion order
+	starts []int     // start row of each sealed page
+	addrs  []diskAddr
+	n      int // total rows
+	sealed int // rows covered by sealed pages
+
+	tpp     int
+	chunk   int
+	next    diskAddr
+	left    int
+	written int
+	batch   int
+}
+
+func newVPartition(w, tpp, chunk, batch int) *vpartition {
+	return &vpartition{cols: make([][]int64, w), tpp: tpp, chunk: chunk, batch: batch}
+}
+
+// addRow appends row i of src, sealing a page exactly when the legacy
+// partition would (every tpp rows).
+func (pt *vpartition) addRow(e *engine, p *sim.Proc, s *site, acc *chargeAcc, src [][]int64, i int) {
+	for c := range pt.cols {
+		pt.cols[c] = append(pt.cols[c], src[c][i])
+	}
+	pt.n++
+	if pt.n-pt.sealed >= pt.tpp {
+		pt.complete(e, p, s, acc)
+	}
+}
+
+// complete seals the unsealed rows into the next temp page and, once a full
+// run has accumulated, writes the backlog; the mirror of partition.complete.
+func (pt *vpartition) complete(e *engine, p *sim.Proc, s *site, acc *chargeAcc) {
+	if pt.n == pt.sealed {
+		return
+	}
+	if pt.left == 0 {
+		pt.next = s.allocTemp(pt.chunk)
+		pt.left = pt.chunk
+	}
+	pt.starts = append(pt.starts, pt.sealed)
+	pt.sealed = pt.n
+	pt.addrs = append(pt.addrs, pt.next)
+	pt.next = pt.next.plus(1)
+	pt.left--
+	if len(pt.addrs)-pt.written >= pt.batch {
+		pt.drain(e, p, s, acc)
+	}
+}
+
+// drain writes the completed-but-unwritten pages in address-contiguous runs
+// with the legacy charge placement (one direct DiskInst charge, then the
+// scatter-gather write, per run).
+func (pt *vpartition) drain(e *engine, p *sim.Proc, s *site, acc *chargeAcc) {
+	if pt.written >= len(pt.addrs) {
+		return
+	}
+	acc.flush(p)
+	for pt.written < len(pt.addrs) {
+		start := pt.written
+		run := 1
+		for start+run < len(pt.addrs) && pt.addrs[start+run] == pt.addrs[start].plus(run) {
+			run++
+		}
+		s.chargeCPU(p, e.cfg.Params, e.cfg.Params.DiskInst*float64(run))
+		s.writeRun(p, pt.addrs[start], run)
+		pt.written += run
+	}
+}
+
+// vflush seals any partial page and forces out the pending writes.
+func (pt *vpartition) vflush(e *engine, p *sim.Proc, s *site, acc *chargeAcc) {
+	pt.complete(e, p, s, acc)
+	pt.drain(e, p, s, acc)
+}
+
+// pageSpan reports page i's row range; valid once the partition is flushed.
+func (pt *vpartition) pageSpan(i int) (start, count int) {
+	start = pt.starts[i]
+	end := pt.n
+	if i+1 < len(pt.starts) {
+		end = pt.starts[i+1]
+	}
+	return start, end - start
+}
+
+// vhhJoin is the vectorized hybrid hash join. It shares the legacy join's
+// memory-allocation math and hash routing (joinAlloc), consumes and emits
+// page-sized batches, builds into a vtable instead of a map, and probes
+// column-wise with scratch selection/candidate vectors — zero allocations in
+// the probe-emit path once warm. Phase structure, spill layout, and every
+// charge amount and order mirror hhJoinOp.
+type vhhJoin struct {
+	e      *engine
+	atSite *site
+	inner  viter
+	outer  viter
+	bkey   *keyer
+	pkey   *keyer
+	acc    *chargeAcc
+	tpp    int
+	w      int
+	al     joinAlloc
+
+	table      *vtable
+	innerParts []*vpartition
+	outerParts []*vpartition
+
+	phase    int // 0 = probing outer, 1 = spilled partition passes, 2 = done
+	partIdx  int
+	partPage int
+	outerWin int
+
+	cur       *colBatch
+	curCols   [][]int64 // resolved columns of cur
+	fromBuild []bool    // per column: merged value comes from the build side
+	rdy       vring
+
+	// reused scratch, refilled per input batch (build/probe phases) or per
+	// partition (spill passes)
+	icols, ikcols [][]int64 // build-input columns / key slot columns
+	ocols, okcols [][]int64 // probe-input columns / key slot columns
+	ikeyv, okeyv  [][]int64 // evaluated key-value columns (Next applied)
+	ihash, ohash  []uint64  // per-row composite key hashes
+	estBuild      int       // optimizer's estimate of in-memory build rows
+	outCount      int64
+}
+
+func (e *engine) newVHHJoin(at catalog.SiteID, inner, outer viter,
+	innerTables, outerTables map[string]bool, innerPages, outerPages int, acc *chargeAcc) *vhhJoin {
+	j := &vhhJoin{
+		e:      e,
+		atSite: e.site(at),
+		inner:  inner,
+		outer:  outer,
+		bkey:   newKeyer(e.cfg.Query, e.relIdx, innerTables, outerTables, e.cfg.Next),
+		pkey:   newKeyer(e.cfg.Query, e.relIdx, outerTables, innerTables, e.cfg.Next),
+		acc:    acc,
+		tpp:    tuplesPerPage(e.cfg.Params.PageSize, e.cfg.Query.ResultTupleBytes),
+		w:      len(e.relIdx),
+		al:     e.joinAllocFor(innerPages, outerPages),
+	}
+	j.estBuild = int(float64(innerPages) * j.al.frac0 * float64(j.tpp))
+	// A column is non-absent in a subtree's output exactly when its relation
+	// is one of the subtree's base tables (scans set only their own slot;
+	// joins merge disjoint sides). So merge(build, probe) resolves each
+	// column to a fixed side for the whole join — precompute the split and
+	// emitMerged never re-checks absent per value.
+	j.fromBuild = make([]bool, j.w)
+	for rel, idx := range e.relIdx { //hslint:ordered -- slot-indexed: each relation writes its own index, order cannot reach the result
+		j.fromBuild[idx] = innerTables[rel]
+	}
+	return j
+}
+
+func (j *vhhJoin) vopen(p *sim.Proc) {
+	pr := &j.e.cfg.Params
+	j.inner.vopen(p)
+	j.outer.vopen(p)
+
+	j.table = j.e.vp.getTable(j.w, len(j.bkey.slots))
+	j.table.reserve(j.estBuild)
+	for i := 0; i < j.al.nParts; i++ {
+		j.innerParts = append(j.innerParts, newVPartition(j.w, j.tpp, j.al.chunkPages, pr.batch()))
+		j.outerParts = append(j.outerParts, newVPartition(j.w, j.tpp, j.al.chunkPages, pr.batch()))
+	}
+
+	// Build phase: consume the inner completely.
+	for {
+		b, ok := j.inner.vnext(p)
+		if !ok {
+			break
+		}
+		j.acc.add(p, j.atSite, pr, pr.HashInst*float64(b.n))
+		j.icols = batchCols(b, j.icols)
+		j.ikcols = j.bkey.slotCols(j.icols, j.ikcols)
+		j.ikeyv = j.bkey.evalCols(j.ikcols, b.n, j.ikeyv)
+		j.ihash = hashKeyCols(j.ikeyv, b.n, j.ihash)
+		for i := 0; i < b.n; i++ {
+			h := j.ihash[i]
+			if part := j.al.route(h); part == 0 {
+				j.insertRow(j.icols, j.ikeyv, i, h)
+			} else {
+				j.innerParts[part-1].addRow(j.e, p, j.atSite, j.acc, j.icols, i)
+			}
+		}
+		j.e.vp.put(b)
+	}
+	for _, pt := range j.innerParts {
+		pt.vflush(j.e, p, j.atSite, j.acc)
+	}
+	j.phase = 0
+}
+
+// insertRow copies row i (tuple columns and pre-evaluated key values) into
+// the build table under hash h.
+func (j *vhhJoin) insertRow(cols, keyv [][]int64, i int, h uint64) {
+	t := j.table
+	t.insert(h)
+	for c := range t.cols {
+		t.cols[c] = append(t.cols[c], cols[c][i])
+	}
+	for s := range t.keys {
+		t.keys[s] = append(t.keys[s], keyv[s][i])
+	}
+}
+
+// probeRow matches row i of the probe columns against the table, with the
+// legacy probe's exact charge schedule: CompareInst per candidate first,
+// then MoveInst per match. The candidate walk, key comparison, and emit are
+// fused into one chain traversal; only the resulting charge parts are
+// appended, in the legacy order, after the (pure) traversal.
+func (j *vhhJoin) probeRow(p *sim.Proc, cols, keyv [][]int64, i int, h uint64) {
+	t := j.table
+	var cands, matched int
+	if len(t.keys) == 1 {
+		k0, pv0 := t.keys[0], keyv[0][i]
+		for e := t.head[h&t.mask]; e >= 0; e = t.next[e] {
+			if t.hashes[e] != h {
+				continue
+			}
+			cands++
+			if k0[e] == pv0 {
+				j.emitMerged(e, cols, i)
+				matched++
+			}
+		}
+	} else {
+		for e := t.head[h&t.mask]; e >= 0; e = t.next[e] {
+			if t.hashes[e] != h {
+				continue
+			}
+			cands++
+			eq := true
+			for s := range t.keys {
+				if t.keys[s][e] != keyv[s][i] {
+					eq = false
+					break
+				}
+			}
+			if eq {
+				j.emitMerged(e, cols, i)
+				matched++
+			}
+		}
+	}
+	if cands == 0 {
+		return
+	}
+	pr := &j.e.cfg.Params
+	j.acc.add(p, j.atSite, pr, pr.CompareInst*float64(cands))
+	if matched > 0 {
+		j.acc.add(p, j.atSite, pr,
+			pr.MoveInst*float64(j.e.cfg.Query.ResultTupleBytes)/4*float64(matched))
+		j.outCount += int64(matched)
+	}
+}
+
+// emitMerged appends merge(build, probe) to the output page under
+// construction, completing pages at exactly tpp rows.
+func (j *vhhJoin) emitMerged(e int32, cols [][]int64, i int) {
+	if j.cur == nil {
+		j.cur = j.e.vp.get(j.w, j.tpp)
+		j.curCols = batchCols(j.cur, j.curCols)
+	}
+	cur := j.cur
+	at := cur.n
+	tcols := j.table.cols
+	for c := 0; c < j.w; c++ {
+		if j.fromBuild[c] {
+			j.curCols[c][at] = tcols[c][e]
+		} else {
+			j.curCols[c][at] = cols[c][i]
+		}
+	}
+	cur.n++
+	if cur.n == j.tpp {
+		j.rdy.push(cur)
+		j.cur = nil
+	}
+}
+
+func (j *vhhJoin) vnext(p *sim.Proc) (*colBatch, bool) {
+	pr := &j.e.cfg.Params
+	// Run the probe pipeline exactly while the legacy operator would (its
+	// output buffer below one page ≡ no completed page queued here).
+	for j.rdy.empty() && j.phase < 2 {
+		switch j.phase {
+		case 0:
+			b, ok := j.outer.vnext(p)
+			if !ok {
+				for _, pt := range j.outerParts {
+					pt.vflush(j.e, p, j.atSite, j.acc)
+				}
+				j.phase = 1
+				j.partIdx = -1
+				j.partPage = 0
+				continue
+			}
+			j.acc.add(p, j.atSite, pr, pr.HashInst*float64(b.n))
+			j.ocols = batchCols(b, j.ocols)
+			j.okcols = j.pkey.slotCols(j.ocols, j.okcols)
+			j.okeyv = j.pkey.evalCols(j.okcols, b.n, j.okeyv)
+			j.ohash = hashKeyCols(j.okeyv, b.n, j.ohash)
+			for i := 0; i < b.n; i++ {
+				h := j.ohash[i]
+				if part := j.al.route(h); part == 0 {
+					j.probeRow(p, j.ocols, j.okeyv, i, h)
+				} else {
+					j.outerParts[part-1].addRow(j.e, p, j.atSite, j.acc, j.ocols, i)
+				}
+			}
+			j.e.vp.put(b)
+		case 1:
+			if j.partIdx < 0 || j.partPage >= len(j.outerParts[j.partIdx].starts) {
+				// Advance to the next spilled partition pair: rebuild the
+				// table from the inner partition read back from temp disk.
+				j.partIdx++
+				j.partPage = 0
+				if j.partIdx >= j.al.nParts {
+					j.phase = 2
+					continue
+				}
+				j.table.reset()
+				in := j.innerParts[j.partIdx]
+				j.ikcols = j.bkey.slotCols(in.cols, j.ikcols)
+				j.ikeyv = j.bkey.evalCols(j.ikcols, in.n, j.ikeyv)
+				j.ihash = hashKeyCols(j.ikeyv, in.n, j.ihash)
+				// Pre-evaluate this partition's outer side too; its pages
+				// are probed across the vnext calls below (key extraction
+				// is pure, so evaluation time is unobservable).
+				opart := j.outerParts[j.partIdx]
+				j.okcols = j.pkey.slotCols(opart.cols, j.okcols)
+				j.okeyv = j.pkey.evalCols(j.okcols, opart.n, j.okeyv)
+				j.ohash = hashKeyCols(j.okeyv, opart.n, j.ohash)
+				for pi := 0; pi < len(in.starts); {
+					run := contiguousRun(in.addrs, pi, pr.batch())
+					j.acc.flush(p)
+					j.atSite.chargeCPU(p, *pr, pr.DiskInst*float64(run))
+					j.atSite.readRun(p, in.addrs[pi], run)
+					for k := 0; k < run; k++ {
+						start, cnt := in.pageSpan(pi + k)
+						j.acc.add(p, j.atSite, pr, pr.HashInst*float64(cnt))
+						for r := start; r < start+cnt; r++ {
+							j.insertRow(in.cols, j.ikeyv, r, j.ihash[r])
+						}
+					}
+					pi += run
+				}
+				continue
+			}
+			out := j.outerParts[j.partIdx]
+			start, cnt := out.pageSpan(j.partPage)
+			if j.outerWin == 0 {
+				run := contiguousRun(out.addrs, j.partPage, pr.batch())
+				j.acc.flush(p)
+				j.atSite.chargeCPU(p, *pr, pr.DiskInst*float64(run))
+				j.atSite.readRun(p, out.addrs[j.partPage], run)
+				j.outerWin = run
+			}
+			j.outerWin--
+			j.partPage++
+			j.acc.add(p, j.atSite, pr, pr.HashInst*float64(cnt))
+			for r := start; r < start+cnt; r++ {
+				j.probeRow(p, out.cols, j.okeyv, r, j.ohash[r])
+			}
+		}
+	}
+	if !j.rdy.empty() {
+		return j.rdy.pop(), true
+	}
+	if j.cur != nil && j.cur.n > 0 {
+		b := j.cur
+		j.cur = nil
+		return b, true
+	}
+	return nil, false
+}
+
+func (j *vhhJoin) vclose(p *sim.Proc) {
+	j.inner.vclose(p)
+	j.outer.vclose(p)
+	j.e.vp.putTable(j.table)
+	j.table = nil
+	j.innerParts = nil
+	j.outerParts = nil
+	j.rdy.drainTo(&j.e.vp)
+	j.e.vp.put(j.cur)
+	j.cur = nil
+}

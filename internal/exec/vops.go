@@ -1,0 +1,449 @@
+package exec
+
+import (
+	"fmt"
+
+	"hybridship/internal/catalog"
+	"hybridship/internal/plan"
+	"hybridship/internal/sim"
+)
+
+// viter is the batch-at-a-time iterator interface: vnext yields one page of
+// tuples as a columnar batch. Ownership of the returned batch transfers to
+// the caller, which releases it to the engine pool (or hands it on).
+type viter interface {
+	vopen(p *sim.Proc)
+	vnext(p *sim.Proc) (*colBatch, bool)
+	vclose(p *sim.Proc)
+}
+
+// runVec executes a built plan through the vectorized operator set; the
+// batch-mode counterpart of building a displayOp and calling run.
+func (e *engine) runVec(p *sim.Proc, root *plan.Node, b plan.Binding, att *attemptState) int64 {
+	acc := &chargeAcc{}
+	d := &vdisplay{e: e, acc: acc, child: e.vbuild(root.Left, b, b[root], att, acc)}
+	d.run(p)
+	return d.tuples
+}
+
+// vbuild mirrors build: the same operator tree, the same network-pair
+// boundaries. A subtree on the far side of a network pair runs on the
+// producer daemon's process, so it accumulates charges into the producer's
+// own accumulator, created here.
+func (e *engine) vbuild(n *plan.Node, b plan.Binding, consumerSite catalog.SiteID, att *attemptState, acc *chargeAcc) viter {
+	site := b[n]
+	sub := acc
+	if site != consumerSite {
+		sub = &chargeAcc{}
+	}
+	var it viter
+	switch n.Kind {
+	case plan.KindScan:
+		it = e.newVScan(n.Table, site, att, sub)
+	case plan.KindSelect:
+		child := e.vbuild(n.Left, b, site, att, sub)
+		it = e.newVSelect(n.Rel, site, child, sub)
+	case plan.KindAgg:
+		child := e.vbuild(n.Left, b, site, att, sub)
+		it = e.newVAgg(site, child, sub)
+	case plan.KindJoin:
+		inner := e.vbuild(n.Left, b, site, att, sub)
+		outer := e.vbuild(n.Right, b, site, att, sub)
+		it = e.newVHHJoin(site, inner, outer, n.Left.BaseTables(), n.Right.BaseTables(),
+			e.estPages(n.Left), e.estPages(n.Right), sub)
+	default:
+		panic(fmt.Sprintf("exec: cannot build vectorized operator for %v", n.Kind))
+	}
+	if site != consumerSite {
+		it = e.newVNetPair(it, site, consumerSite, att, sub, acc)
+	}
+	return it
+}
+
+// vscan wraps the page-at-a-time scan's paid-window machinery (scanOp.fill
+// is shared verbatim — every I/O, page-fault round trip, and direct charge
+// stays identical) and materializes each page as one columnar batch instead
+// of tpp fresh Tuples.
+type vscan struct {
+	s   *scanOp
+	e   *engine
+	acc *chargeAcc
+
+	w         int
+	idx       int
+	relTuples int64
+}
+
+func (e *engine) newVScan(rel string, at catalog.SiteID, att *attemptState, acc *chargeAcc) *vscan {
+	s := e.newScan(rel, at, att)
+	return &vscan{
+		s: s, e: e, acc: acc,
+		w:         len(e.relIdx),
+		idx:       e.relIdx[rel],
+		relTuples: int64(e.cfg.Catalog.MustRelation(rel).Tuples),
+	}
+}
+
+func (v *vscan) vopen(p *sim.Proc) { v.s.open(p) }
+
+func (v *vscan) vnext(p *sim.Proc) (*colBatch, bool) {
+	s := v.s
+	if s.nextPage >= s.relPages {
+		return nil, false
+	}
+	if s.window == 0 {
+		// fill charges and parks; pending coalesced charges must land first.
+		v.acc.flush(p)
+		s.fill(p)
+	}
+	s.window--
+	s.nextPage++
+
+	n := s.tpp
+	if rem := v.relTuples - s.nextID; int64(n) > rem {
+		n = int(rem)
+	}
+	b := v.e.vp.get(v.w, s.tpp)
+	b.n = n
+	for c := 0; c < v.w; c++ {
+		col := b.col(c)
+		if c == v.idx {
+			id := s.nextID
+			for i := 0; i < n; i++ {
+				col[i] = id
+				id++
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				col[i] = absent
+			}
+		}
+	}
+	s.nextID += int64(n)
+	s.tuples += int64(n)
+	return b, true
+}
+
+func (v *vscan) vclose(p *sim.Proc) {}
+
+// vselect is the batch selection: CompareInst per input tuple, survivors
+// gathered through a selection vector and re-compacted into full output
+// pages, preserving the legacy operator's exact page-size sequence (pages of
+// exactly tpp while input lasts, then one final partial page).
+type vselect struct {
+	e      *engine
+	rel    string
+	atSite *site
+	child  viter
+	acc    *chargeAcc
+
+	idx  int
+	w    int
+	tpp  int
+	sel  []int32 // selection vector scratch
+	cur  *colBatch
+	rdy  vring
+	done bool
+}
+
+func (e *engine) newVSelect(rel string, at catalog.SiteID, child viter, acc *chargeAcc) *vselect {
+	return &vselect{
+		e: e, rel: rel, atSite: e.site(at), child: child, acc: acc,
+		idx: e.relIdx[rel],
+		w:   len(e.relIdx),
+		tpp: tuplesPerPage(e.cfg.Params.PageSize, e.cfg.Query.ResultTupleBytes),
+	}
+}
+
+func (s *vselect) vopen(p *sim.Proc) {
+	s.child.vopen(p)
+	s.done = false
+}
+
+func (s *vselect) vnext(p *sim.Proc) (*colBatch, bool) {
+	pr := &s.e.cfg.Params
+	pass := s.e.cfg.Pass
+	// Consume input exactly while the legacy operator would (its buffer
+	// below one output page ≡ no completed page queued here).
+	for s.rdy.empty() && !s.done {
+		in, ok := s.child.vnext(p)
+		if !ok {
+			s.done = true
+			break
+		}
+		s.acc.add(p, s.atSite, pr, pr.CompareInst*float64(in.n))
+		sel := s.sel[:0]
+		idcol := in.col(s.idx)
+		for i := 0; i < in.n; i++ {
+			if pass == nil || pass(s.rel, idcol[i]) {
+				sel = append(sel, int32(i))
+			}
+		}
+		s.sel = sel
+		// Gather the survivors column-wise into the output page under
+		// construction, completing pages at exactly tpp rows.
+		for len(sel) > 0 {
+			if s.cur == nil {
+				s.cur = s.e.vp.get(s.w, s.tpp)
+			}
+			take := s.tpp - s.cur.n
+			if take > len(sel) {
+				take = len(sel)
+			}
+			for c := 0; c < s.w; c++ {
+				src, dst := in.col(c), s.cur.col(c)
+				at := s.cur.n
+				for k := 0; k < take; k++ {
+					dst[at+k] = src[sel[k]]
+				}
+			}
+			s.cur.n += take
+			sel = sel[take:]
+			if s.cur.n == s.tpp {
+				s.rdy.push(s.cur)
+				s.cur = nil
+			}
+		}
+		s.e.vp.put(in)
+	}
+	if !s.rdy.empty() {
+		return s.rdy.pop(), true
+	}
+	if s.done && s.cur != nil && s.cur.n > 0 {
+		b := s.cur
+		s.cur = nil
+		return b, true
+	}
+	return nil, false
+}
+
+func (s *vselect) vclose(p *sim.Proc) { s.child.vclose(p) }
+
+// vagg is the batch grouped aggregation: identical group hashing and counts
+// to aggOp, with the HashInst/MoveInst charges accumulated per batch.
+type vagg struct {
+	e      *engine
+	atSite *site
+	child  viter
+	acc    *chargeAcc
+	groups int
+	tpp    int
+
+	counts  map[int64]int64
+	emitted []int64
+	pos     int
+}
+
+func (e *engine) newVAgg(at catalog.SiteID, child viter, acc *chargeAcc) *vagg {
+	groups := e.cfg.Query.GroupBy
+	if groups < 1 {
+		groups = 1
+	}
+	return &vagg{
+		e: e, atSite: e.site(at), child: child, acc: acc, groups: groups,
+		tpp: tuplesPerPage(e.cfg.Params.PageSize, e.cfg.Query.ResultTupleBytes),
+	}
+}
+
+func (a *vagg) vopen(p *sim.Proc) {
+	pr := &a.e.cfg.Params
+	a.child.vopen(p)
+	a.counts = make(map[int64]int64)
+	for {
+		in, ok := a.child.vnext(p)
+		if !ok {
+			break
+		}
+		a.acc.add(p, a.atSite, pr, pr.HashInst*float64(in.n))
+		for i := 0; i < in.n; i++ {
+			var h uint64
+			for c := 0; c < in.w; c++ {
+				if id := in.col(c)[i]; id != absent {
+					h = mix64(h ^ uint64(id))
+				}
+			}
+			a.counts[int64(h%uint64(a.groups))]++
+		}
+		a.e.vp.put(in)
+	}
+	a.emitted = make([]int64, 0, len(a.counts))
+	for g := range a.counts { //hslint:ordered -- group ids are sorted immediately below
+		a.emitted = append(a.emitted, g)
+	}
+	sortInt64s(a.emitted)
+	a.acc.add(p, a.atSite, pr,
+		pr.MoveInst*float64(a.e.cfg.Query.ResultTupleBytes)/4*float64(len(a.emitted)))
+	a.pos = 0
+}
+
+func (a *vagg) vnext(p *sim.Proc) (*colBatch, bool) {
+	if a.pos >= len(a.emitted) {
+		return nil, false
+	}
+	n := a.tpp
+	if rem := len(a.emitted) - a.pos; n > rem {
+		n = rem
+	}
+	// Aggregate output tuples carry (group, count) in two slots, like the
+	// legacy make(Tuple, 2) pages.
+	b := a.e.vp.get(2, a.tpp)
+	b.n = n
+	g, cnt := b.col(0), b.col(1)
+	for i := 0; i < n; i++ {
+		id := a.emitted[a.pos]
+		a.pos++
+		g[i] = id
+		cnt[i] = a.counts[id]
+	}
+	return b, true
+}
+
+func (a *vagg) vclose(p *sim.Proc) { a.child.vclose(p) }
+
+// vdisplay drains the plan at the client. The final flush realizes the
+// query's last coalesced charges before its completion time is read.
+type vdisplay struct {
+	e      *engine
+	child  viter
+	acc    *chargeAcc
+	tuples int64
+}
+
+func (d *vdisplay) run(p *sim.Proc) {
+	pr := &d.e.cfg.Params
+	d.child.vopen(p)
+	for {
+		b, ok := d.child.vnext(p)
+		if !ok {
+			break
+		}
+		d.tuples += int64(b.n)
+		d.acc.add(p, d.e.client, pr, pr.DisplayInst*float64(b.n))
+		d.e.vp.put(b)
+	}
+	d.child.vclose(p)
+	d.acc.flush(p)
+}
+
+// vnetPair is the batch network pair: the same producer daemon protocol as
+// netPair (one lookahead buffer slot per page or per run, the same message
+// charges and transmits), shipping columnar batches instead of pages. The
+// producer runs the far subtree, so it owns that subtree's accumulator and
+// flushes it before every transmit and before closing the stream.
+type vnetPair struct {
+	e        *engine
+	from, to *site
+	child    viter
+	buf      *sim.Buffer
+	started  bool
+	att      *attemptState
+
+	pacc *chargeAcc // producer-side (far subtree) accumulator
+	acc  *chargeAcc // consumer-side accumulator
+
+	pending []*colBatch // unpacked remainder of the last received run
+	pos     int
+}
+
+func (e *engine) newVNetPair(child viter, from, to catalog.SiteID, att *attemptState, pacc, acc *chargeAcc) *vnetPair {
+	return &vnetPair{e: e, from: e.site(from), to: e.site(to), child: child, att: att, pacc: pacc, acc: acc}
+}
+
+func (n *vnetPair) vopen(p *sim.Proc) {
+	if n.started {
+		return
+	}
+	n.started = true
+	n.buf = sim.NewBuffer(n.e.sim, "net", n.e.cfg.Params.lookahead())
+	pr := &n.e.cfg.Params
+	body := func(pp *sim.Proc) {
+		n.child.vopen(pp)
+		batch := pr.batch()
+		var run []*colBatch
+		send := func() {
+			n.pacc.add(pp, n.from, pr, pr.msgCPUInstr(len(run)*pr.PageSize))
+			n.pacc.flush(pp)
+			n.e.net.TransmitPages(pp, pr.PageSize, len(run))
+			n.buf.Put(pp, run)
+			run = nil
+		}
+		for {
+			b, ok := n.child.vnext(pp)
+			if !ok {
+				break
+			}
+			if batch == 1 {
+				// Paper-exact page-at-a-time stream.
+				n.pacc.add(pp, n.from, pr, pr.msgCPUInstr(pr.PageSize))
+				n.pacc.flush(pp)
+				n.e.net.Transmit(pp, pr.PageSize, true)
+				n.buf.Put(pp, b)
+				continue
+			}
+			run = append(run, b)
+			if len(run) >= batch {
+				send()
+			}
+		}
+		if len(run) > 0 {
+			send()
+		}
+		n.child.vclose(pp)
+		n.pacc.flush(pp)
+		n.buf.Close()
+	}
+	if att := n.att; att != nil {
+		inner := body
+		body = func(pp *sim.Proc) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(sim.Interrupted); !ok {
+						panic(r)
+					}
+					att.abort(reasonHelper)
+				}
+			}()
+			inner(pp)
+		}
+	}
+	// Spawning the producer is kernel-visible: the daemon's first dispatch
+	// lands at the current simulated time. Any consumer-side work still
+	// sitting in the accumulator — e.g. the hash charge for a partial last
+	// build page, which no later batch flushes — must be realized first,
+	// exactly where the page-at-a-time engine charges it before outer.open.
+	n.acc.flush(p)
+	pr2 := n.e.sim.SpawnDaemonLazy(func() string { return fmt.Sprintf("send:%d->%d", n.from.id, n.to.id) }, body)
+	if n.att != nil {
+		n.att.addHelper(pr2)
+	}
+}
+
+func (n *vnetPair) vnext(p *sim.Proc) (*colBatch, bool) {
+	if n.pos < len(n.pending) {
+		b := n.pending[n.pos]
+		n.pending[n.pos] = nil
+		n.pos++
+		return b, true
+	}
+	// Get parks; the consumer's pending charges must land first.
+	n.acc.flush(p)
+	v, ok := n.buf.Get(p)
+	if !ok {
+		return nil, false
+	}
+	pr := &n.e.cfg.Params
+	switch t := v.(type) {
+	case *colBatch:
+		n.acc.add(p, n.to, pr, pr.msgCPUInstr(pr.PageSize))
+		return t, true
+	default:
+		run := t.([]*colBatch)
+		n.acc.add(p, n.to, pr, pr.msgCPUInstr(len(run)*pr.PageSize))
+		n.pending, n.pos = run, 1
+		b := run[0]
+		run[0] = nil
+		return b, true
+	}
+}
+
+func (n *vnetPair) vclose(p *sim.Proc) {}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+
+	"hybridship/internal/catalog"
+	"hybridship/internal/cost"
+	"hybridship/internal/exec"
+	"hybridship/internal/plan"
+	"hybridship/internal/workload"
+)
+
+// The vecscale grid is the vectorized engine's ablation: every cell compiles
+// one plan and executes it twice — page-at-a-time and batch-at-a-time
+// (Params.Vectorized) — under the same seed, and asserts the two Results are
+// DeepEqual before any performance number is reported. The axes are the
+// dimensions the columnar data plane is sensitive to:
+//
+//	tuple width   — chain length n; the merged output of an n-way join
+//	  carries n columns, so deeper chains mean wider batches and more
+//	  column moves per emitted row.
+//	cardinality   — tuples per base relation; sets batch count and join
+//	  table size.
+//	batch size    — Params.BatchPages; 1 is the paper's page-at-a-time
+//	  flow, 8 moves eight-page runs and coalesces their charges.
+//	policy        — DS / QS / HY; moves the join work between client and
+//	  servers, so the vectorized operators run at different sites.
+//
+// Each cell runs the pair twice more under minimum memory allocation, where
+// the hash joins partition to disk: the spill path has its own batch
+// recycling and charge accounting, and the grid would be blind to it under
+// max alloc alone.
+//
+// Wall-clock here is a per-cell illustration measured on whatever host runs
+// the grid; the committed speedup record is scripts/bench_exec.sh's
+// BENCH_exec.json. The virtual results (response time, pages) are exact and
+// deterministic — they are what the equality check locks down.
+
+// vecNways is the tuple-width axis (chain length).
+func (c Config) vecNways() []int {
+	if c.Quick {
+		return []int{10}
+	}
+	return []int{2, 10}
+}
+
+// vecTuples is the cardinality axis (tuples per base relation).
+func (c Config) vecTuples() []int {
+	if c.Quick {
+		return []int{workload.DefaultTuples}
+	}
+	return []int{2500, workload.DefaultTuples}
+}
+
+// vecBatches is the batch-size axis (Params.BatchPages).
+func (c Config) vecBatches() []int {
+	if c.Quick {
+		return []int{8}
+	}
+	return []int{1, 8}
+}
+
+// VecScaleCell is one grid cell: the shared virtual outcome plus the wall
+// clock of each engine under both memory allocations.
+type VecScaleCell struct {
+	Nway       int
+	Tuples     int
+	BatchPages int
+	Policy     string
+
+	ResponseTime float64 // virtual seconds, max alloc; identical across engines
+	PagesSent    int64   // max alloc; identical across engines
+
+	MaxWallLegacy float64 // host seconds, max alloc, page-at-a-time
+	MaxWallVec    float64 // host seconds, max alloc, vectorized
+	MinWallLegacy float64 // host seconds, min alloc (spilling), page-at-a-time
+	MinWallVec    float64 // host seconds, min alloc (spilling), vectorized
+}
+
+// VecScaleReport is everything `csq run vecscale` prints.
+type VecScaleReport struct {
+	Cells []VecScaleCell
+
+	// Aggregate wall-clock over the whole grid, per engine and allocation.
+	MaxLegacyTotal, MaxVecTotal float64
+	MinLegacyTotal, MinVecTotal float64
+}
+
+// vecCatalog builds a chain catalog with a per-relation cardinality override.
+func vecCatalog(n, tuples, servers int) (*catalog.Catalog, error) {
+	cat := catalog.New(4096, servers)
+	for i, home := range workload.PlaceRoundRobin(n, servers) {
+		err := cat.AddRelation(catalog.Relation{
+			Name:       workload.RelName(i),
+			Tuples:     tuples,
+			TupleBytes: workload.DefaultTupleBytes,
+			Home:       home,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cat, nil
+}
+
+// vecCompare asserts a vectorized execution's Result equals the
+// page-at-a-time reference's, field for field.
+func vecCompare(cell VecScaleCell, alloc string, legacy, vec exec.Result) error {
+	if !reflect.DeepEqual(legacy, vec) {
+		return fmt.Errorf("experiments: vectorized result diverges from page-at-a-time (%d-way, %d tuples, batch %d, %s, %s alloc):\n  legacy %+v\n  vec    %+v",
+			cell.Nway, cell.Tuples, cell.BatchPages, cell.Policy, alloc, legacy, vec)
+	}
+	return nil
+}
+
+// vecPair executes the compiled plan with the vectorized engine off and on,
+// returning both results and both wall clocks.
+func vecPair(cfg exec.Config, p *plan.Node) (legacy, vec exec.Result, wallLegacy, wallVec float64, err error) {
+	run := func(vectorized bool) (exec.Result, float64, error) {
+		cfg := cfg
+		cfg.Params.Vectorized = vectorized
+		//hslint:allow nodeterm -- wall-clock measurement of the run; printed in the report, never simulated state
+		t0 := time.Now()
+		res, err := exec.Run(cfg, p)
+		//hslint:allow nodeterm -- wall-clock measurement of the run; printed in the report, never simulated state
+		return res, time.Since(t0).Seconds(), err
+	}
+	if legacy, wallLegacy, err = run(false); err != nil {
+		return
+	}
+	vec, wallVec, err = run(true)
+	return
+}
+
+// VecScale runs the grid, asserting vectorized/page-at-a-time equality in
+// every cell (both allocations) before reporting the performance columns.
+func (c Config) VecScale() (*VecScaleReport, error) {
+	rep := &VecScaleReport{}
+	for _, n := range c.vecNways() {
+		servers := 2
+		if n >= 10 {
+			servers = 4
+		}
+		for _, tuples := range c.vecTuples() {
+			for _, batch := range c.vecBatches() {
+				for pi, pol := range allPolicies {
+					cell := VecScaleCell{Nway: n, Tuples: tuples, BatchPages: batch, Policy: policyNames[pol]}
+					cat, err := vecCatalog(n, tuples, servers)
+					if err != nil {
+						return nil, err
+					}
+					q := workload.ChainQuery(n, workload.Moderate)
+					for ai, maxAlloc := range []bool{true, false} {
+						r := run{
+							cat: cat, q: q, policy: pol,
+							metric: cost.MetricResponseTime, maxAlloc: maxAlloc,
+							next:    workload.Next(workload.Moderate),
+							optSeed: seedFor(c.Seed, int64(n), int64(tuples), int64(batch), int64(pi), int64(ai), 90),
+							simSeed: seedFor(c.Seed, int64(n), int64(tuples), int64(batch), int64(pi), int64(ai), 91),
+						}
+						compiled, err := r.optimize()
+						if err != nil {
+							return nil, err
+						}
+						cfg := r.execConfig()
+						cfg.Params.BatchPages = batch
+						legacy, vec, wallLegacy, wallVec, err := vecPair(cfg, compiled.Plan)
+						if err != nil {
+							return nil, err
+						}
+						if maxAlloc {
+							if err := vecCompare(cell, "max", legacy, vec); err != nil {
+								return nil, err
+							}
+							cell.ResponseTime = legacy.ResponseTime
+							cell.PagesSent = legacy.PagesSent
+							cell.MaxWallLegacy, cell.MaxWallVec = wallLegacy, wallVec
+							rep.MaxLegacyTotal += wallLegacy
+							rep.MaxVecTotal += wallVec
+						} else {
+							if err := vecCompare(cell, "min", legacy, vec); err != nil {
+								return nil, err
+							}
+							cell.MinWallLegacy, cell.MinWallVec = wallLegacy, wallVec
+							rep.MinLegacyTotal += wallLegacy
+							rep.MinVecTotal += wallVec
+						}
+					}
+					rep.Cells = append(rep.Cells, cell)
+				}
+			}
+		}
+	}
+	return rep, nil
+}

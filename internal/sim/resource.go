@@ -1,5 +1,10 @@
 package sim
 
+import (
+	"fmt"
+	"math"
+)
+
 // Resource is a FIFO-queued resource with a fixed number of identical
 // servers. The paper models CPUs and the network link this way ("The CPU is
 // modeled as a FIFO queue", "The network is modeled simply as a FIFO queue
@@ -75,6 +80,50 @@ func (r *Resource) Use(p *Proc, dt Time) {
 	}
 	p.Hold(dt)
 	r.Release(p)
+}
+
+// UseRun charges a sequence of busy intervals against the resource, exactly
+// as if Use had been called once per part, and is the primitive behind the
+// execution engine's coalesced per-batch CPU charges. When the whole run is
+// provably unobservable — a server is free with nobody queued, no pending
+// event falls at or before the run's end, the shard-window horizon is not
+// crossed, and no Trace is recording dispatches — the per-part
+// acquire/hold/release round trips collapse into one in-place clock advance.
+// Otherwise every part goes through Use, which is the reference behavior.
+// Either way the clock lands on the identical left-folded sum
+// ((now+d1)+d2)+… and the busy/request counters see every part, so batching
+// charges into one UseRun is bit-equivalent to issuing them one by one.
+func (r *Resource) UseRun(p *Proc, parts []Time) {
+	switch len(parts) {
+	case 0:
+		return
+	case 1:
+		r.Use(p, parts[0])
+		return
+	}
+	s := r.sim
+	target := s.now
+	for _, dt := range parts {
+		if dt < 0 || math.IsNaN(dt) {
+			panic(fmt.Sprintf("sim: UseRun part %g in %q", dt, p.Name()))
+		}
+		target += dt
+	}
+	if s.Trace == nil && r.inUse < r.servers && len(r.waiters) == 0 &&
+		target < s.horizon && (len(s.events) == 0 || s.events[0].at > target) {
+		// Quiet window: no other process can run before target, so the
+		// intermediate acquire/release states of the per-part sequence are
+		// unobservable. Fold the counters and jump the clock in place.
+		for _, dt := range parts {
+			r.requests++
+			r.busy += dt
+		}
+		s.now = target
+		return
+	}
+	for _, dt := range parts {
+		r.Use(p, dt)
+	}
 }
 
 // BusyTime reports the cumulative busy server-seconds consumed so far.
