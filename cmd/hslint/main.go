@@ -1,14 +1,19 @@
 // Command hslint runs hybridship's project-specific static analyzers over
 // the module and exits nonzero on findings. It is the compile-time gate for
 // the invariants the regression tests check after the fact: determinism
-// (nodeterm, floatsum), centralized seed derivation (seedflow), and the
-// allocation-lean simulation hot path (simhot).
+// (nodeterm, floatsum, detreach), centralized seed derivation (seedflow),
+// the allocation-lean simulation hot path (simhot), the charge-accumulator
+// flush contract (chargeflow), and hold hygiene under interrupts (parksafe).
 //
 // Usage:
 //
-//	hslint [packages]          lint (default ./...); exit 1 on findings
-//	hslint -waive [packages]   list every //hslint: waiver with its reason
-//	hslint -doc                print what each analyzer checks
+//	hslint [packages]            lint (default ./...); exit 1 on findings
+//	hslint -json [packages]      findings as a JSON array on stdout
+//	hslint -annotate [packages]  also emit GitHub ::error file annotations
+//	hslint -staleness [packages] audit waivers: stale and duplicate ones fail
+//	hslint -graph <fn> [pkgs]    print a function's kernel-visible call chain
+//	hslint -waive [packages]     list every //hslint: waiver with its reason
+//	hslint -doc                  print what each analyzer checks
 //
 // Findings are reported as `file:line: [analyzer] message`. A finding that
 // is provably harmless is waived in the source with
@@ -17,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,8 +34,12 @@ import (
 func main() {
 	listWaivers := flag.Bool("waive", false, "list all //hslint: waivers instead of linting")
 	doc := flag.Bool("doc", false, "describe the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	annotate := flag.Bool("annotate", false, "emit GitHub Actions ::error annotations (auto-enabled under GITHUB_ACTIONS)")
+	staleness := flag.Bool("staleness", false, "audit waiver hygiene: report stale and duplicate waivers")
+	graph := flag.String("graph", "", "print the kernel-visible reachability chain for functions matching `pattern`")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: hslint [-waive] [-doc] [packages]")
+		fmt.Fprintln(os.Stderr, "usage: hslint [-json] [-annotate] [-staleness] [-graph fn] [-waive] [-doc] [packages]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -74,13 +84,94 @@ func main() {
 	}
 
 	cfg := analysis.DefaultConfig(mod.Path)
-	diags := analysis.Run(mod, cfg, analysis.Analyzers())
-	for _, d := range diags {
-		fmt.Println(d)
+
+	if *graph != "" {
+		printGraph(mod, cfg, *graph)
+		return
 	}
+
+	var diags []analysis.Diagnostic
+	what := "finding"
+	if *staleness {
+		diags = analysis.AuditWaivers(mod, cfg, analysis.Analyzers())
+		what = "waiver-hygiene finding"
+	} else {
+		diags = analysis.Run(mod, cfg, analysis.Analyzers())
+	}
+	emit(diags, *jsonOut, *annotate || os.Getenv("GITHUB_ACTIONS") == "true")
 	if n := len(diags); n > 0 {
-		fmt.Fprintf(os.Stderr, "hslint: %d finding(s)\n", n)
+		fmt.Fprintf(os.Stderr, "hslint: %d %s(s)\n", n, what)
 		os.Exit(1)
+	}
+}
+
+// jsonFinding is the machine-readable finding shape consumed by CI.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func emit(diags []analysis.Diagnostic, asJSON, annotate bool) {
+	if asJSON {
+		out := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonFinding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if annotate {
+		// GitHub Actions workflow commands: one ::error per finding so the
+		// PR diff carries file:line annotations. They go to stderr so that
+		// `hslint -json > findings.json` keeps the JSON clean while the
+		// runner (which scans both streams) still picks the commands up.
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "::error file=%s,line=%d,title=hslint(%s)::%s\n",
+				d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+		}
+	}
+}
+
+// printGraph resolves pattern against the call graph and prints each match's
+// shortest kernel-visible chain, for triaging chargeflow/detreach findings.
+func printGraph(mod *analysis.Module, cfg *analysis.Config, pattern string) {
+	u := &analysis.Unit{Fset: mod.Fset, Packages: mod.Packages, Config: cfg}
+	g := u.Graph()
+	matches := g.Resolve(pattern)
+	if len(matches) == 0 {
+		fmt.Fprintf(os.Stderr, "hslint: no function matches %q\n", pattern)
+		os.Exit(1)
+	}
+	for _, f := range matches {
+		chain := g.KernelChain(f)
+		if chain == nil {
+			fmt.Printf("%s: not kernel-visible (no static chain to a sim kernel primitive)\n", g.FuncName(f))
+			continue
+		}
+		fmt.Printf("%s: kernel-visible (%s)\n", g.FuncName(f), g.KernelOpClass(f))
+		for i, hop := range chain {
+			indent := ""
+			for j := 0; j < i; j++ {
+				indent += "  "
+			}
+			fmt.Printf("  %s%s\n", indent, g.FuncName(hop))
+		}
 	}
 }
 

@@ -81,6 +81,15 @@ type Config struct {
 	// VecTupleType names the per-row type (in VecPkg) whose construction is
 	// banned on the vectorized hot path.
 	VecTupleType string
+	// ChargeAccType names the charge-accumulator type declared in VecPkg
+	// whose flush-before-kernel-visible-operation contract chargeflow
+	// enforces; empty disables the pass.
+	ChargeAccType string
+	// InterruptArmedPkgs are the packages that run under sim.ArmInterrupts,
+	// where an Interrupted panic can unwind through any park point: parksafe
+	// requires every manual Resource.Acquire there to pair with a deferred
+	// Release.
+	InterruptArmedPkgs []string
 }
 
 // DefaultConfig returns the hybridship configuration for a module rooted at
@@ -93,6 +102,15 @@ func DefaultConfig(modulePath string) *Config {
 		VecPkg:        modulePath + "/internal/exec",
 		VecFilePrefix: "v",
 		VecTupleType:  "Tuple",
+		ChargeAccType: "chargeAcc",
+		InterruptArmedPkgs: []string{
+			modulePath + "/internal/exec",
+			modulePath + "/internal/faults",
+			modulePath + "/internal/serve",
+			modulePath + "/internal/shard",
+			modulePath + "/internal/netsim",
+			modulePath + "/internal/disk",
+		},
 		TimingExemptPrefixes: []string{
 			modulePath + "/cmd/",
 			modulePath + "/examples/",
@@ -132,6 +150,7 @@ type Unit struct {
 
 	analyzer string
 	diags    *[]Diagnostic
+	cg       *CallGraph
 }
 
 // Report records a finding at pos.
@@ -145,13 +164,12 @@ func (u *Unit) Report(pos token.Pos, format string, args ...any) {
 
 // Analyzers is the full hslint suite in the order findings are attributed.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Nodeterm, Seedflow, Simhot, Floatsum}
+	return []*Analyzer{Nodeterm, Seedflow, Simhot, Floatsum, Chargeflow, Parksafe, Detreach}
 }
 
-// Run executes every analyzer over the module, drops waived findings, and
-// returns the survivors sorted by position. Waivers naming an unknown
-// analyzer or missing a justification are themselves reported.
-func Run(mod *Module, cfg *Config, analyzers []*Analyzer) []Diagnostic {
+// runRaw executes every analyzer over the module and returns the raw
+// findings (before waiver filtering) plus the parsed waivers.
+func runRaw(mod *Module, cfg *Config, analyzers []*Analyzer) ([]Diagnostic, []Waiver) {
 	var diags []Diagnostic
 	u := &Unit{Fset: mod.Fset, Packages: mod.Packages, Config: cfg, diags: &diags}
 	known := make(map[string]bool)
@@ -174,7 +192,14 @@ func Run(mod *Module, cfg *Config, analyzers []*Analyzer) []Diagnostic {
 			}
 		}
 	}
+	return diags, waivers
+}
 
+// Run executes every analyzer over the module, drops waived findings, and
+// returns the survivors sorted by position. Waivers naming an unknown
+// analyzer or missing a justification are themselves reported.
+func Run(mod *Module, cfg *Config, analyzers []*Analyzer) []Diagnostic {
+	diags, waivers := runRaw(mod, cfg, analyzers)
 	kept := diags[:0]
 	for _, d := range diags {
 		if d.Analyzer != "waiver" && waived(waivers, d) {
@@ -182,8 +207,60 @@ func Run(mod *Module, cfg *Config, analyzers []*Analyzer) []Diagnostic {
 		}
 		kept = append(kept, d)
 	}
-	diags = kept
+	return sortDiags(kept)
+}
 
+// AuditWaivers runs the analyzers and reports waiver-hygiene problems
+// instead of findings: well-formed waivers that no longer suppress any raw
+// finding (stale — the target was fixed or moved, so the waiver now only
+// misleads), and duplicate waivers where two comments on the same line name
+// the same analyzer.
+func AuditWaivers(mod *Module, cfg *Config, analyzers []*Analyzer) []Diagnostic {
+	raw, waivers := runRaw(mod, cfg, analyzers)
+
+	var out []Diagnostic
+	report := func(w *Waiver, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Pos:      mod.Fset.Position(w.Pos),
+			Analyzer: "waiver",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	type lineKey struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	seen := make(map[lineKey]bool)
+	for i := range waivers {
+		w := &waivers[i]
+		if w.Err != "" {
+			continue
+		}
+		for _, a := range w.Analyzers {
+			k := lineKey{w.File, w.Line, a}
+			if seen[k] {
+				report(w, "duplicate waiver: %q already waived on this line", a)
+			}
+			seen[k] = true
+		}
+		live := false
+		for _, d := range raw {
+			if d.Analyzer != "waiver" && waived(waivers[i:i+1], d) {
+				live = true
+				break
+			}
+		}
+		if !live {
+			report(w, "stale waiver (%s): no finding on this line or the next — remove it",
+				strings.Join(w.Analyzers, ","))
+		}
+	}
+	return sortDiags(out)
+}
+
+func sortDiags(diags []Diagnostic) []Diagnostic {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {

@@ -314,7 +314,7 @@ func testConfig() *analysis.Config {
 	}
 }
 
-func writeFixture(t *testing.T) string {
+func writeFixture(t *testing.T, fixture map[string]string) string {
 	t.Helper()
 	dir := t.TempDir()
 	for name, src := range fixture {
@@ -331,7 +331,7 @@ func writeFixture(t *testing.T) string {
 
 // wantDiags parses the `// want a b` markers: one "file:line:analyzer" entry
 // per token, as a multiset.
-func wantDiags() map[string]int {
+func wantDiags(fixture map[string]string) map[string]int {
 	want := make(map[string]int)
 	for name, src := range fixture {
 		for i, line := range strings.Split(src, "\n") {
@@ -347,18 +347,10 @@ func wantDiags() map[string]int {
 	return want
 }
 
-func TestAnalyzersOnFixture(t *testing.T) {
-	dir := writeFixture(t)
-	mod, err := analysis.Load(dir, "./...")
-	if err != nil {
-		t.Fatalf("Load: %v", err)
-	}
-	if mod.Path != "fixture" {
-		t.Fatalf("module path = %q, want %q", mod.Path, "fixture")
-	}
-
-	diags := analysis.Run(mod, testConfig(), analysis.Analyzers())
-
+// checkMarkers compares the diagnostics against the fixture's `// want`
+// markers and reports every multiset difference.
+func checkMarkers(t *testing.T, dir string, fixture map[string]string, diags []analysis.Diagnostic) {
+	t.Helper()
 	got := make(map[string]int)
 	for _, d := range diags {
 		rel, err := filepath.Rel(dir, d.Pos.Filename)
@@ -368,7 +360,7 @@ func TestAnalyzersOnFixture(t *testing.T) {
 		got[fmt.Sprintf("%s:%d:%s", filepath.ToSlash(rel), d.Pos.Line, d.Analyzer)]++
 	}
 
-	want := wantDiags()
+	want := wantDiags(fixture)
 	var keys []string
 	for k := range want {
 		keys = append(keys, k)
@@ -391,8 +383,20 @@ func TestAnalyzersOnFixture(t *testing.T) {
 	}
 }
 
+func TestAnalyzersOnFixture(t *testing.T) {
+	dir := writeFixture(t, fixture)
+	mod, err := analysis.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if mod.Path != "fixture" {
+		t.Fatalf("module path = %q, want %q", mod.Path, "fixture")
+	}
+	checkMarkers(t, dir, fixture, analysis.Run(mod, testConfig(), analysis.Analyzers()))
+}
+
 func TestDiagnosticFormat(t *testing.T) {
-	dir := writeFixture(t)
+	dir := writeFixture(t, fixture)
 	mod, err := analysis.Load(dir, "./...")
 	if err != nil {
 		t.Fatalf("Load: %v", err)
@@ -431,7 +435,7 @@ func TestDiagnosticFormat(t *testing.T) {
 }
 
 func TestWaiverListing(t *testing.T) {
-	dir := writeFixture(t)
+	dir := writeFixture(t, fixture)
 	mod, err := analysis.Load(dir, "./...")
 	if err != nil {
 		t.Fatalf("Load: %v", err)

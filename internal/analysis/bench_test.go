@@ -1,0 +1,32 @@
+package analysis_test
+
+import (
+	"testing"
+	"time"
+
+	"hybridship/internal/analysis"
+)
+
+// BenchmarkHslintFull is the CI wall-clock smoke for the linter itself: one
+// iteration is a full hslint run over this repository — go list -export,
+// parse, type-check, call-graph construction, and all seven analyzers. The
+// budget is deliberately loose (the run takes a few seconds; the limit only
+// catches a fixpoint that stopped converging or a closure gone quadratic),
+// and verify.sh's bench smoke picks the benchmark up automatically.
+func BenchmarkHslintFull(b *testing.B) {
+	const budget = 90 * time.Second
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		mod, err := analysis.Load("../..", "./...")
+		if err != nil {
+			b.Fatalf("Load: %v", err)
+		}
+		diags := analysis.Run(mod, analysis.DefaultConfig(mod.Path), analysis.Analyzers())
+		if elapsed := time.Since(start); elapsed > budget {
+			b.Fatalf("full hslint run took %v, over the %v wall-clock budget", elapsed, budget)
+		}
+		if len(diags) > 0 {
+			b.Logf("note: %d finding(s) in the tree", len(diags))
+		}
+	}
+}

@@ -106,16 +106,49 @@ func Load(dir string, patterns ...string) (*Module, error) {
 		}
 		return os.Open(f)
 	}
-	imp := importer.ForCompiler(mod.Fset, "gc", lookup)
+	imp := &moduleImporter{
+		base:    importer.ForCompiler(mod.Fset, "gc", lookup),
+		checked: make(map[string]*types.Package),
+	}
 
+	// go list -deps emits dependencies before dependents, so by the time a
+	// package imports a module sibling, that sibling is already
+	// source-checked and the importer returns it — giving every package the
+	// *same* types.Object for a cross-package function, which the call-graph
+	// engine requires (export data would mint fresh, unequal objects).
 	for _, t := range targets {
 		pkg, err := typecheck(mod.Fset, imp, t)
 		if err != nil {
 			return nil, err
 		}
+		imp.checked[pkg.Path] = pkg.Types
 		mod.Packages = append(mod.Packages, pkg)
 	}
 	return mod, nil
+}
+
+// moduleImporter resolves module packages to their source-checked form and
+// everything else (std, external deps) through gc export data.
+type moduleImporter struct {
+	base    types.Importer
+	checked map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.checked[path]; ok {
+		return p, nil
+	}
+	return m.base.Import(path)
+}
+
+func (m *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := m.checked[path]; ok {
+		return p, nil
+	}
+	if from, ok := m.base.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, dir, mode)
+	}
+	return m.base.Import(path)
 }
 
 // typecheck parses t's (non-test) sources and runs go/types over them.

@@ -128,6 +128,19 @@ func checkSelect(u *Unit, sel *ast.SelectStmt) {
 
 // checkMapRange flags writes that let map-iteration order escape the loop.
 func checkMapRange(u *Unit, pkg *Package, rng *ast.RangeStmt) {
+	mapRangeEscapes(pkg, rng, func(at ast.Node, what string) {
+		// Position the finding on the range line so one //hslint:ordered
+		// waiver there covers the whole loop, as DESIGN.md documents.
+		line := u.Fset.Position(at.Pos()).Line
+		u.Report(rng.Pos(), "map range: %s (line %d); iteration order can reach the result — "+
+			"fix, or waive the range with //hslint:ordered -- why", what, line)
+	})
+}
+
+// mapRangeEscapes calls report for every write inside a range-over-map that
+// lets iteration order escape the loop. Shared by nodeterm (direct findings
+// in deterministic packages) and detreach (sinks in reachable helpers).
+func mapRangeEscapes(pkg *Package, rng *ast.RangeStmt, reportEscape func(at ast.Node, what string)) {
 	t := typeOf(pkg.Info, rng.X)
 	if t == nil {
 		return
@@ -151,11 +164,7 @@ func checkMapRange(u *Unit, pkg *Package, rng *ast.RangeStmt) {
 		return obj
 	}
 	report := func(at ast.Node, format string, args ...any) {
-		// Position the finding on the range line so one //hslint:ordered
-		// waiver there covers the whole loop, as DESIGN.md documents.
-		line := u.Fset.Position(at.Pos()).Line
-		u.Report(rng.Pos(), "map range: %s (line %d); iteration order can reach the result — "+
-			"fix, or waive the range with //hslint:ordered -- why", fmt.Sprintf(format, args...), line)
+		reportEscape(at, fmt.Sprintf(format, args...))
 	}
 
 	ast.Inspect(rng.Body, func(n ast.Node) bool {

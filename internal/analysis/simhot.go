@@ -101,93 +101,18 @@ func isRuntimeConcat(info *types.Info, e *ast.BinaryExpr) bool {
 	return ok && b.Info()&types.IsString != 0
 }
 
-// fnBody pairs a function declaration's AST with its package, for
-// cross-package call-graph walks.
-type fnBody struct {
-	decl *ast.FuncDecl
-	pkg  *Package
-}
-
-// moduleBodies indexes every function the module declares with a body.
-func moduleBodies(u *Unit) map[*types.Func]fnBody {
-	bodies := make(map[*types.Func]fnBody)
-	for _, pkg := range u.Packages {
-		for _, file := range pkg.Files {
-			for _, d := range file.Decls {
-				decl, ok := d.(*ast.FuncDecl)
-				if !ok || decl.Body == nil {
-					continue
-				}
-				if obj, ok := pkg.Info.Defs[decl.Name].(*types.Func); ok {
-					bodies[obj] = fnBody{decl, pkg}
-				}
-			}
-		}
-	}
-	return bodies
-}
-
-// closeCallGraph marks every function statically reachable from roots:
-// direct calls and method calls on named types, including those made inside
-// closures the root functions contain. Interface dispatch is not followed —
-// the concrete implementations of interest are roots themselves.
-func closeCallGraph(bodies map[*types.Func]fnBody, roots []*types.Func) map[*types.Func]bool {
-	reachable := make(map[*types.Func]bool)
-	work := append([]*types.Func(nil), roots...)
-	for _, r := range roots {
-		reachable[r] = true
-	}
-	for len(work) > 0 {
-		f := work[len(work)-1]
-		work = work[:len(work)-1]
-		b, ok := bodies[f]
-		if !ok {
-			continue
-		}
-		ast.Inspect(b.decl.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			var id *ast.Ident
-			switch fun := call.Fun.(type) {
-			case *ast.Ident:
-				id = fun
-			case *ast.SelectorExpr:
-				id = fun.Sel
-			default:
-				return true
-			}
-			if callee, ok := b.pkg.Info.Uses[id].(*types.Func); ok && !reachable[callee] {
-				if _, have := bodies[callee]; have {
-					reachable[callee] = true
-					work = append(work, callee)
-				}
-			}
-			return true
-		})
-	}
-	return reachable
-}
-
-// checkHotReachable builds the static call graph, closes it over the kernel
-// package's functions, and flags string building inside the closure.
+// checkHotReachable closes the shared call graph over the kernel package's
+// functions and flags string building inside the closure.
 func checkHotReachable(u *Unit) {
-	bodies := moduleBodies(u)
-	var roots []*types.Func
-	for f, b := range bodies {
-		if b.pkg.Path == u.Config.SimPkg {
-			roots = append(roots, f)
-		}
-	}
-	for f := range closeCallGraph(bodies, roots) {
-		b := bodies[f]
+	g := u.Graph()
+	for _, f := range g.Closure(g.FuncsIn(u.Config.SimPkg)) {
+		b, _ := g.Body(f)
 		flagStringWork(u, b.pkg, f, b.decl.Body)
 	}
 }
 
-// checkVecAlloc closes the call graph over the vectorized engine's roots —
-// the functions VecPkg declares in files whose basename carries
+// checkVecAlloc closes the shared call graph over the vectorized engine's
+// roots — the functions VecPkg declares in files whose basename carries
 // VecFilePrefix — and flags per-row allocation of the configured row type
 // inside the closure.
 func checkVecAlloc(u *Unit) {
@@ -195,19 +120,17 @@ func checkVecAlloc(u *Unit) {
 	if cfg.VecPkg == "" || cfg.VecFilePrefix == "" || cfg.VecTupleType == "" {
 		return
 	}
-	bodies := moduleBodies(u)
+	g := u.Graph()
 	var roots []*types.Func
-	for f, b := range bodies {
-		if b.pkg.Path != cfg.VecPkg {
-			continue
-		}
+	for _, f := range g.FuncsIn(cfg.VecPkg) {
+		b, _ := g.Body(f)
 		base := filepath.Base(u.Fset.Position(b.decl.Pos()).Filename)
 		if strings.HasPrefix(base, cfg.VecFilePrefix) {
 			roots = append(roots, f)
 		}
 	}
-	for f := range closeCallGraph(bodies, roots) {
-		b := bodies[f]
+	for _, f := range g.Closure(roots) {
+		b, _ := g.Body(f)
 		flagTupleAlloc(u, b.pkg, f, b.decl.Body)
 	}
 }

@@ -406,7 +406,7 @@ func (d *Disk) destageOne(p *sim.Proc) {
 	}
 	var best PageAddr = -1
 	bestDist := 1 << 30
-	for pg := range d.dirty {
+	for pg := range d.dirty { //hslint:allow detreach -- min-selection with a total tie-break (distance, then page address), so every iteration order picks the same page
 		dist := d.cylOf(pg) - d.curCyl
 		if dist < 0 {
 			dist = -dist
@@ -417,7 +417,7 @@ func (d *Disk) destageOne(p *sim.Proc) {
 	}
 	track := d.trackOf(best)
 	var batch []PageAddr
-	for pg := range d.dirty {
+	for pg := range d.dirty { //hslint:allow detreach -- collection only; batch is sorted immediately below, so iteration order cannot reach the write schedule
 		if d.trackOf(pg) == track {
 			batch = append(batch, pg)
 		}

@@ -6,6 +6,7 @@ package query
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -68,7 +69,15 @@ func (q *Query) Validate() error {
 			return fmt.Errorf("query: predicate %s=%s has selectivity %g outside (0,1]", p.A, p.B, p.Selectivity)
 		}
 	}
-	for r, s := range q.Selects {
+	// Check selections in sorted order: with several invalid entries, map
+	// iteration order would decide which error the caller sees.
+	selRels := make([]string, 0, len(q.Selects))
+	for r := range q.Selects { //hslint:allow detreach -- key collection only; sorted immediately below, so order cannot reach the caller
+		selRels = append(selRels, r)
+	}
+	sort.Strings(selRels)
+	for _, r := range selRels {
+		s := q.Selects[r]
 		if !rels[r] {
 			return fmt.Errorf("query: selection on undeclared relation %q", r)
 		}

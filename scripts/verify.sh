@@ -9,9 +9,13 @@
 #
 # hslint is the compile-time gate for the invariants the regression tests
 # only check after the fact: no map-order, wall-clock or global-rand leaks
-# into deterministic results (nodeterm, floatsum), all seed mixing in
-# internal/seedmix (seedflow), and no eager string building on the sim
-# kernel's hot path (simhot). See DESIGN.md §8.
+# into deterministic results (nodeterm, floatsum, detreach), all seed mixing
+# in internal/seedmix (seedflow), no eager string building on the sim
+# kernel's hot path (simhot), the charge-accumulator flush contract
+# (chargeflow), and hold hygiene under interrupts (parksafe). See DESIGN.md
+# §8 and §13. Findings are emitted as JSON (the shape CI archives), and a
+# second pass audits waiver hygiene: a stale or duplicate //hslint: waiver
+# fails the build just like a finding.
 #
 # Usage: scripts/verify.sh  (from anywhere inside the repo)
 set -eu
@@ -25,7 +29,16 @@ go test ./...
 echo "== go vet ./..."
 go vet ./...
 echo "== hslint (project invariants; list waivers: go run ./cmd/hslint -waive ./...)"
-go run ./cmd/hslint ./...
+hslint_json=$(mktemp)
+if ! go run ./cmd/hslint -json ./... > "$hslint_json"; then
+	cat "$hslint_json"
+	rm -f "$hslint_json"
+	echo "hslint: findings above — fix, or waive with //hslint:allow <analyzer> -- reason" >&2
+	exit 1
+fi
+rm -f "$hslint_json"
+echo "== hslint -staleness (waiver hygiene: stale or duplicate waivers fail)"
+go run ./cmd/hslint -staleness ./...
 echo "== go test -race ./..."
 go test -race ./...
 echo "== chaos smoke (short MTBF sweep end-to-end under the race detector)"
