@@ -72,7 +72,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   csq list
-  csq run [-reps N] [-seed S] [-quick] [-v] <fig2|fig3|...|fig9|fig10|fig11|chaos|overload|shardscale|vecscale|all>...`)
+  csq run [-reps N] [-seed S] [-quick] [-v] <fig2|fig3|...|fig9|fig10|fig11|chaos|failover|overload|shardscale|vecscale|all>...`)
 }
 
 func list() {
@@ -80,7 +80,7 @@ func list() {
 	for n := range figures {
 		names = append(names, n)
 	}
-	names = append(names, "fig9", "chaos", "overload", "shardscale", "vecscale")
+	names = append(names, "fig9", "chaos", "failover", "overload", "shardscale", "vecscale")
 	sort.Strings(names)
 	for _, n := range names {
 		switch n {
@@ -88,6 +88,8 @@ func list() {
 			fmt.Printf("  %-14s %s\n", n, "communication of static vs 2-step plans after data migration")
 		case "chaos":
 			fmt.Printf("  %-14s %s\n", n, "fault injection: response time and goodput vs site MTBF")
+		case "failover":
+			fmt.Printf("  %-14s %s\n", n, "replication: availability and goodput vs site MTBF, RF 1-3")
 		case "overload":
 			fmt.Printf("  %-14s %s\n", n, "serving layer: goodput and tail latency vs offered load, on/off")
 		case "shardscale":
@@ -122,11 +124,11 @@ func runCmd(args []string) {
 		os.Exit(2)
 	}
 	if len(targets) == 1 && targets[0] == "all" {
-		// The chaos, overload, shardscale, and vecscale grids are not part
-		// of "all": the committed figure record (results_full.txt's default
-		// section) stays exactly the paper's fault-free reproduction. Run
-		// them explicitly with `csq run chaos` / `csq run overload` /
-		// `csq run shardscale` / `csq run vecscale`.
+		// The chaos, failover, overload, shardscale, and vecscale grids are
+		// not part of "all": the committed figure record (results_full.txt's
+		// default section) stays exactly the paper's fault-free reproduction.
+		// Run them explicitly with `csq run chaos` / `csq run failover` /
+		// `csq run overload` / `csq run shardscale` / `csq run vecscale`.
 		targets = []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
 	}
 	cfg := experiments.Config{Reps: *reps, Seed: *seed, Quick: *quick}
@@ -150,6 +152,18 @@ func runCmd(args []string) {
 			figs, err := cfg.Chaos()
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+				os.Exit(1)
+			}
+			for _, fig := range figs {
+				fmt.Println(fig)
+			}
+			fmt.Printf("  [%s]\n\n", time.Since(start).Round(time.Millisecond))
+			continue
+		}
+		if strings.EqualFold(name, "failover") {
+			figs, err := cfg.Failover()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "failover: %v\n", err)
 				os.Exit(1)
 			}
 			for _, fig := range figs {

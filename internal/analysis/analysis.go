@@ -95,7 +95,7 @@ type Config struct {
 // DefaultConfig returns the hybridship configuration for a module rooted at
 // modulePath.
 func DefaultConfig(modulePath string) *Config {
-	det := []string{"opt", "exec", "sim", "experiments", "workload", "stats", "cost", "plan", "faults", "serve", "shard"}
+	det := []string{"opt", "exec", "sim", "experiments", "workload", "stats", "cost", "plan", "faults", "serve", "shard", "catalog"}
 	c := &Config{
 		SeedMixPkg:    modulePath + "/internal/seedmix",
 		SimPkg:        modulePath + "/internal/sim",

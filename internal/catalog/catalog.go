@@ -1,16 +1,25 @@
 // Package catalog describes the database seen by the optimizer and the
-// execution engine: base relations, their statistics, the server holding
-// each primary copy, and the portions cached on the client's disk.
+// execution engine: base relations, their statistics, the servers holding
+// each copy, and the portions cached on the client's disk.
 //
 // Following the paper (§3.3): relations are not horizontally partitioned and
-// not replicated across servers; the client holds no primary copies; cached
-// data is a contiguous prefix of a relation, resident on the client disk.
+// the client holds no primary copies; cached data is a contiguous prefix of a
+// relation, resident on the client disk. Beyond the paper, a relation may be
+// replicated (DESIGN.md §14): Home is the primary of an optional Copies list
+// whose secondaries live on distinct servers. An unreplicated catalog (no
+// Copies set anywhere) is bit-identical to the historical single-copy form.
 package catalog
 
 import (
 	"fmt"
 	"sort"
+
+	"hybridship/internal/seedmix"
 )
+
+// seedReplica tags the seed stream that places replica secondaries, keeping
+// it disjoint from every other derivation in the tree (DESIGN.md §6).
+const seedReplica int64 = 301
 
 // SiteID identifies a machine. The client is always site -1; servers are
 // numbered from 0.
@@ -25,6 +34,44 @@ type Relation struct {
 	Tuples     int    // cardinality
 	TupleBytes int    // bytes per tuple after projection
 	Home       SiteID // server storing the primary copy; never Client
+
+	// Copies is the replica set: Copies[0] == Home (the primary) followed by
+	// the secondaries, each on a distinct server. A nil Copies means the
+	// relation is unreplicated — the exact legacy single-copy catalog.
+	Copies []SiteID
+}
+
+// NumCopies reports how many copies of the relation exist (at least 1: the
+// primary at Home).
+func (r *Relation) NumCopies() int {
+	if len(r.Copies) == 0 {
+		return 1
+	}
+	return len(r.Copies)
+}
+
+// CopySite returns the server holding copy i; copy 0 is the primary at Home.
+func (r *Relation) CopySite(i int) SiteID {
+	if len(r.Copies) == 0 {
+		if i != 0 {
+			panic(fmt.Sprintf("catalog: relation %s has no copy %d", r.Name, i))
+		}
+		return r.Home
+	}
+	return r.Copies[i]
+}
+
+// HasCopy reports whether server s holds a copy of the relation.
+func (r *Relation) HasCopy(s SiteID) bool {
+	if len(r.Copies) == 0 {
+		return s == r.Home
+	}
+	for _, c := range r.Copies {
+		if c == s {
+			return true
+		}
+	}
+	return false
 }
 
 // Pages returns the number of pages the relation occupies. Tuples do not
@@ -93,6 +140,85 @@ func (c *Catalog) AddRelation(r Relation) error {
 	return nil
 }
 
+// SetCopies declares the full replica set of a relation. The first entry
+// must be the relation's Home (the primary); every entry must be a distinct
+// in-range server. Passing a single-entry set {Home} resets the relation to
+// the unreplicated form, so such a catalog stays DeepEqual to one that never
+// saw SetCopies.
+func (c *Catalog) SetCopies(name string, sites []SiteID) error {
+	r, ok := c.relations[name]
+	if !ok {
+		return fmt.Errorf("catalog: unknown relation %q", name)
+	}
+	if len(sites) == 0 || sites[0] != r.Home {
+		return fmt.Errorf("catalog: relation %q: copies must start with the primary at %d", name, r.Home)
+	}
+	for i, s := range sites {
+		if s == Client {
+			return fmt.Errorf("catalog: relation %q: client cannot hold a copy", name)
+		}
+		if int(s) < 0 || int(s) >= c.NumServers {
+			return fmt.Errorf("catalog: relation %q: copy server %d out of range [0,%d)", name, s, c.NumServers)
+		}
+		for j := 0; j < i; j++ {
+			if sites[j] == s {
+				return fmt.Errorf("catalog: relation %q: duplicate copy server %d", name, s)
+			}
+		}
+	}
+	if len(sites) == 1 {
+		r.Copies = nil
+		return nil
+	}
+	r.Copies = append([]SiteID(nil), sites...)
+	return nil
+}
+
+// ReplicateAll places rf copies of every relation: the primary stays at Home
+// and rf-1 secondaries are drawn deterministically from the seed, each on a
+// distinct server. rf must be in [1,3] and cannot exceed the server count.
+// ReplicateAll(1, seed) is a no-op, leaving the catalog bit-identical to the
+// unreplicated form.
+func (c *Catalog) ReplicateAll(rf int, seed int64) error {
+	if rf < 1 || rf > 3 {
+		return fmt.Errorf("catalog: replication factor %d out of [1,3]", rf)
+	}
+	if rf > c.NumServers {
+		return fmt.Errorf("catalog: replication factor %d exceeds %d servers", rf, c.NumServers)
+	}
+	if rf == 1 {
+		return nil
+	}
+	for ri, name := range c.order {
+		r := c.relations[name]
+		copies := make([]SiteID, 1, rf)
+		copies[0] = r.Home
+		for k := 1; k < rf; k++ {
+			// Candidates are the servers not yet holding a copy, in
+			// ascending ID order; the seeded draw picks one of them.
+			cands := make([]SiteID, 0, c.NumServers)
+			for s := 0; s < c.NumServers; s++ {
+				if !contains(copies, SiteID(s)) {
+					cands = append(cands, SiteID(s))
+				}
+			}
+			pick := uint64(seedmix.Derive(seed, seedReplica, int64(ri), int64(k))) % uint64(len(cands))
+			copies = append(copies, cands[pick])
+		}
+		r.Copies = copies
+	}
+	return nil
+}
+
+func contains(sites []SiteID, s SiteID) bool {
+	for _, c := range sites {
+		if c == s {
+			return true
+		}
+	}
+	return false
+}
+
 // Relation looks up a relation by name.
 func (c *Catalog) Relation(name string) (*Relation, bool) {
 	r, ok := c.relations[name]
@@ -148,6 +274,7 @@ func (c *Catalog) Clone() *Catalog {
 	n := New(c.PageSize, c.NumServers)
 	for _, name := range c.order {
 		r := *c.relations[name]
+		r.Copies = append([]SiteID(nil), r.Copies...)
 		n.relations[name] = &r
 		n.order = append(n.order, name)
 	}
@@ -168,19 +295,41 @@ func (c *Catalog) WithNumServers(n int) *Catalog {
 		if int(r.Home) >= n {
 			r.Home = SiteID(int(r.Home) % n)
 		}
+		if len(r.Copies) > 0 {
+			// Re-home copies the same way, then drop the duplicates the
+			// folding may introduce; the primary keeps the first slot.
+			kept := r.Copies[:0]
+			kept = append(kept, r.Home)
+			for _, s := range r.Copies[1:] {
+				if int(s) >= n {
+					s = SiteID(int(s) % n)
+				}
+				if !contains(kept, s) {
+					kept = append(kept, s)
+				}
+			}
+			if len(kept) == 1 {
+				r.Copies = nil
+			} else {
+				r.Copies = kept
+			}
+		}
 	}
 	return cl
 }
 
-// ServersUsed returns the sorted set of servers that hold at least one
-// relation.
+// ServersUsed returns the sorted set of servers that hold at least one copy
+// of some relation.
 func (c *Catalog) ServersUsed() []SiteID {
 	seen := make(map[SiteID]bool)
 	for _, name := range c.order {
-		seen[c.relations[name].Home] = true
+		r := c.relations[name]
+		for i := 0; i < r.NumCopies(); i++ {
+			seen[r.CopySite(i)] = true
+		}
 	}
 	var out []SiteID
-	for s := range seen {
+	for s := range seen { //hslint:ordered -- keys are sorted immediately below
 		out = append(out, s)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

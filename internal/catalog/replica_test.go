@@ -1,0 +1,163 @@
+package catalog
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// replicaFixture builds a catalog with rels relations homed round-robin over
+// servers servers.
+func replicaFixture(t *testing.T, rels, servers int) *Catalog {
+	t.Helper()
+	c := New(4096, servers)
+	for i := 0; i < rels; i++ {
+		mustAdd(t, c, Relation{
+			Name: fmt.Sprintf("R%d", i), Tuples: 1000, TupleBytes: 100,
+			Home: SiteID(i % servers),
+		})
+	}
+	return c
+}
+
+// TestReplicateAllDistinctServers drives the placement invariant across the
+// supported replication factors: every relation ends with exactly rf copies,
+// copy 0 is the primary at Home, and no server holds two copies.
+func TestReplicateAllDistinctServers(t *testing.T) {
+	cases := []struct {
+		rf, servers int
+	}{
+		{1, 1}, {1, 4},
+		{2, 2}, {2, 3}, {2, 5},
+		{3, 3}, {3, 4}, {3, 8},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("rf=%d/servers=%d", tc.rf, tc.servers), func(t *testing.T) {
+			c := replicaFixture(t, 6, tc.servers)
+			if err := c.ReplicateAll(tc.rf, 7); err != nil {
+				t.Fatal(err)
+			}
+			for _, name := range c.Relations() {
+				r := c.MustRelation(name)
+				if got := r.NumCopies(); got != tc.rf {
+					t.Fatalf("%s: NumCopies = %d, want %d", name, got, tc.rf)
+				}
+				if r.CopySite(0) != r.Home {
+					t.Errorf("%s: copy 0 at %d, want primary home %d", name, r.CopySite(0), r.Home)
+				}
+				seen := map[SiteID]bool{}
+				for i := 0; i < r.NumCopies(); i++ {
+					s := r.CopySite(i)
+					if int(s) < 0 || int(s) >= tc.servers {
+						t.Errorf("%s: copy %d on out-of-range server %d", name, i, s)
+					}
+					if seen[s] {
+						t.Errorf("%s: server %d holds two copies", name, s)
+					}
+					seen[s] = true
+					if !r.HasCopy(s) {
+						t.Errorf("%s: HasCopy(%d) false for copy %d's server", name, s, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestReplicateAllDeterministic pins the seedmix placement: the same seed
+// reproduces the replica sets exactly, and a different seed moves at least
+// one secondary (with 8 servers and 12 relations a full collision would be
+// astronomically unlikely, so a tie means the seed is being ignored).
+func TestReplicateAllDeterministic(t *testing.T) {
+	build := func(seed int64) *Catalog {
+		c := replicaFixture(t, 12, 8)
+		if err := c.ReplicateAll(3, seed); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	if a, b := build(42), build(42); !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different replica placements")
+	}
+	if a, b := build(42), build(43); reflect.DeepEqual(a, b) {
+		t.Error("different seeds produced identical replica placements")
+	}
+}
+
+// TestReplicateAllRF1ByteIdentical is the opt-in invariant at the catalog
+// layer: ReplicateAll(1, seed) and a single-entry SetCopies must leave the
+// catalog DeepEqual to one that never heard of replication, for any seed.
+func TestReplicateAllRF1ByteIdentical(t *testing.T) {
+	virgin := replicaFixture(t, 4, 3)
+	for _, seed := range []int64{0, 1, 42, -9} {
+		c := replicaFixture(t, 4, 3)
+		if err := c.ReplicateAll(1, seed); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(c, virgin) {
+			t.Fatalf("ReplicateAll(1, %d) changed the catalog", seed)
+		}
+	}
+	c := replicaFixture(t, 4, 3)
+	if err := c.SetCopies("R0", []SiteID{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetCopies("R0", []SiteID{0}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c, virgin) {
+		t.Error("SetCopies back to the single-copy form is not byte-identical to the unreplicated catalog")
+	}
+}
+
+// TestReplicateAllRejects covers the replication-factor guard rails.
+func TestReplicateAllRejects(t *testing.T) {
+	cases := []struct {
+		name        string
+		rf, servers int
+	}{
+		{"rf below range", 0, 4},
+		{"rf above range", 4, 8},
+		{"rf exceeds servers", 3, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := replicaFixture(t, 2, tc.servers)
+			if err := c.ReplicateAll(tc.rf, 1); err == nil {
+				t.Errorf("ReplicateAll(%d) on %d servers accepted", tc.rf, tc.servers)
+			}
+		})
+	}
+}
+
+// TestSetCopiesValidation table-drives the explicit replica-set setter.
+func TestSetCopiesValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		rel   string
+		sites []SiteID
+		ok    bool
+	}{
+		{"valid pair", "R0", []SiteID{0, 1}, true},
+		{"valid triple", "R0", []SiteID{0, 2, 1}, true},
+		{"reset to primary only", "R0", []SiteID{0}, true},
+		{"unknown relation", "nope", []SiteID{0, 1}, false},
+		{"empty set", "R0", nil, false},
+		{"first entry not the primary", "R0", []SiteID{1, 0}, false},
+		{"duplicate server", "R0", []SiteID{0, 1, 1}, false},
+		{"out-of-range server", "R0", []SiteID{0, 3}, false},
+		{"client as a copy holder", "R0", []SiteID{0, Client}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := replicaFixture(t, 2, 3)
+			err := c.SetCopies(tc.rel, tc.sites)
+			if tc.ok && err != nil {
+				t.Errorf("SetCopies(%v) = %v, want success", tc.sites, err)
+			}
+			if !tc.ok && err == nil {
+				t.Errorf("SetCopies(%v) accepted", tc.sites)
+			}
+		})
+	}
+}

@@ -355,12 +355,17 @@ func (m *Model) evalScan(n *plan.Node, site catalog.SiteID, acc *accum) nodeInfo
 	info := nodeInfo{card: card, tupleBytes: rel.TupleBytes, pages: pages, site: site,
 		tables: m.Query.RelMask(n.Table)}
 
-	if site == rel.Home || pages == 0 {
-		// Scan at the primary copy: sequential I/O at the home server.
-		d := p.diskTime(rel.Home, p.SeqPageTime) * pages
+	if site != catalog.Client || pages == 0 {
+		// Scan at a server copy (the primary, or whichever replica the plan
+		// bound): sequential I/O at that copy's site.
+		at := site
+		if at == catalog.Client {
+			at = rel.Home // degenerate empty relation bound at the client
+		}
+		d := p.diskTime(at, p.SeqPageTime) * pages
 		cpu := p.cpuTime(p.DiskInst * pages)
-		acc.disk[rel.Home] += d
-		acc.cpu[rel.Home] += cpu
+		acc.disk[at] += d
+		acc.cpu[at] += cpu
 		info.rt = d + cpu
 		return info
 	}

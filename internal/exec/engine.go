@@ -175,10 +175,11 @@ type Result struct {
 	NetStats     netsim.Stats
 
 	// Failure-awareness counters; all zero when faults are disabled.
-	Retries     int64        // aborted or unrunnable rounds before completion
-	AbortedWork float64      // virtual seconds of attempts that were aborted
-	BackoffTime float64      // virtual seconds spent waiting between attempts
-	FaultStats  faults.Stats // what the injector actually did
+	Retries          int64        // aborted or unrunnable rounds before completion
+	AbortedWork      float64      // virtual seconds of attempts that were aborted
+	BackoffTime      float64      // virtual seconds spent waiting between attempts
+	ReplicaFailovers int64        // scans served by a replica other than the one the plan chose
+	FaultStats       faults.Stats // what the injector actually did
 }
 
 // diskAddr locates one page on one of a site's disks.
@@ -198,6 +199,11 @@ type site struct {
 	cpu   *sim.Resource
 	disks []*disk.Disk
 	up    bool // flipped by the fault injector's crash/restart hooks
+
+	// warmUntil is the virtual time until which a restarted site is still
+	// warming its controller cache (faults.Config.WarmupDelay); re-binding
+	// deprioritizes — but never excludes — warming copies (DESIGN.md §14).
+	warmUntil float64
 
 	// Disk layout: extents assigned to relations (servers) or cached
 	// relation prefixes (client) are spread over the site's disks round
@@ -271,6 +277,7 @@ type engine struct {
 	ftl      *failoverParams
 	inj      *faults.Injector
 	attempts []*attemptState // in-flight attempts, consulted by crash hooks
+	rb       rebindState     // reused per-attempt re-binding scratch (failover.go)
 
 	// Serving-layer hooks, set only through NewSession; nil on every other
 	// path so Run/RunBound/RunMulti behave exactly as before.
@@ -375,7 +382,9 @@ func newEngine(cfg Config) (*engine, error) {
 	}
 	for _, name := range cfg.Catalog.Relations() {
 		rel := cfg.Catalog.MustRelation(name)
-		place(e.site(rel.Home), name, rel.Pages(cfg.Params.PageSize))
+		for c := 0; c < rel.NumCopies(); c++ {
+			place(e.site(rel.CopySite(c)), name, rel.Pages(cfg.Params.PageSize))
+		}
 		if cp := cfg.Catalog.CachedPages(name); cp > 0 {
 			place(e.client, name, cp)
 		}
@@ -410,9 +419,15 @@ func newEngine(cfg Config) (*engine, error) {
 			}
 			i, s := i, s
 			hooks.Sites[i] = faults.SiteHooks{
-				Crash:   func() { e.crashServer(i) },
-				Restart: func() { s.up = true },
-				Disks:   dh,
+				Crash: func() { e.crashServer(i) },
+				Restart: func() {
+					// The site is reachable again immediately, but its
+					// controller cache is cold (disk.CrashRestart) and its
+					// copies stay deprioritized until the warm-up elapses.
+					s.up = true
+					s.warmUntil = e.sim.Now() + e.ftl.warmup
+				},
+				Disks: dh,
 			}
 		}
 		hooks.NetDown = func() { e.net.SetDown(true) }

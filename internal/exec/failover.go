@@ -42,6 +42,7 @@ type failoverParams struct {
 	maxRetries   int
 	backoffBase  float64
 	backoffMax   float64
+	warmup       float64
 }
 
 func newFailoverParams(fc *faults.Config) *failoverParams {
@@ -51,6 +52,7 @@ func newFailoverParams(fc *faults.Config) *failoverParams {
 		maxRetries:   fc.MaxRetriesOrDefault(),
 		backoffBase:  fc.BackoffBaseOrDefault(),
 		backoffMax:   fc.BackoffMaxOrDefault(),
+		warmup:       fc.WarmupDelay,
 	}
 }
 
@@ -85,22 +87,25 @@ type attemptState struct {
 	mainProc *sim.Proc
 	main     sim.Ref
 	helpers  []sim.Ref
-	deps     []bool // per-server: does this attempt need that site?
+	deps     []uint8 // per-server role bitmask: which roles of that site the attempt needs
 	failed   bool
 	finished bool
 	reason   string
 
 	// failSite is the server whose failure killed the attempt (-1 when the
-	// abort had no attributable site, e.g. a deadline). A session's SiteGate
-	// learns about site health from this attribution.
+	// abort had no attributable site, e.g. a deadline), and failRole the
+	// replica role the attempt was using it in. A session's SiteGate learns
+	// about site health from this attribution.
 	failSite int
+	failRole int
 
 	// One synchronous page-fault fetch may be outstanding per attempt; the
 	// sequence number pairs each watchdog with its fetch so a stale watchdog
 	// (its fetch long since completed) cannot fire.
 	fetchSeq  int64
 	fetchOn   bool
-	fetchSite int // home server of the outstanding fetch
+	fetchSite int // source server of the outstanding fetch
+	fetchRole int // replica role of that source
 }
 
 func (e *engine) newAttempt(p *sim.Proc, root *plan.Node, b plan.Binding) *attemptState {
@@ -108,21 +113,44 @@ func (e *engine) newAttempt(p *sim.Proc, root *plan.Node, b plan.Binding) *attem
 	return att
 }
 
-// attemptDeps computes which server sites the attempt needs alive: every
-// site an operator is bound to, plus the home of any client-bound scan whose
-// relation is not fully cached (page faults go to the home server).
-func (e *engine) attemptDeps(root *plan.Node, b plan.Binding) []bool {
-	deps := make([]bool, len(e.servers))
+// Dependency role bits: a scan served by the relation's home depends on the
+// site in its primary role; a scan served by another replica (or relocated
+// operator work) charges the secondary role. Per-(site, role) circuit
+// breakers key on this split so a tripped primary does not shed work headed
+// for a healthy secondary.
+const (
+	depPrimaryBit   = 1 << RolePrimary
+	depSecondaryBit = 1 << RoleSecondary
+)
+
+// attemptDeps computes which server sites the attempt needs alive, as a
+// per-server role bitmask: every site an operator is bound to, plus the
+// fetch source of any client-bound scan whose relation is not fully cached
+// (page faults go to the chosen replica; the primary by default).
+func (e *engine) attemptDeps(root *plan.Node, b plan.Binding) []uint8 {
+	deps := make([]uint8, len(e.servers))
 	root.Walk(func(n *plan.Node) {
 		s := b[n]
 		if s != catalog.Client {
-			deps[int(s)] = true
+			bit := uint8(depPrimaryBit)
+			if n.Kind == plan.KindScan && s != e.cfg.Catalog.MustRelation(n.Table).Home {
+				bit = depSecondaryBit
+			}
+			deps[int(s)] |= bit
 			return
 		}
 		if n.Kind == plan.KindScan {
 			r := e.cfg.Catalog.MustRelation(n.Table)
 			if e.cachedPagesOf(n.Table) < r.Pages(e.cfg.Params.PageSize) {
-				deps[int(r.Home)] = true
+				src := r.Home
+				if v, ok := e.rb.srcs[n]; ok {
+					src = v
+				}
+				bit := uint8(depPrimaryBit)
+				if src != r.Home {
+					bit = depSecondaryBit
+				}
+				deps[int(src)] |= bit
 			}
 		}
 	})
@@ -152,13 +180,15 @@ func (a *attemptState) abort(reason string) {
 	a.main.Interrupt(reason)
 }
 
-// abortFrom is abort with the failing server attributed, for aborts caused
-// by an identifiable site (crash hooks, fetch watchdogs).
-func (a *attemptState) abortFrom(reason string, site int) {
+// abortFrom is abort with the failing server (and the role the attempt was
+// using it in) attributed, for aborts caused by an identifiable site (crash
+// hooks, fetch watchdogs).
+func (a *attemptState) abortFrom(reason string, site, role int) {
 	if a.failed || a.finished {
 		return
 	}
 	a.failSite = site
+	a.failRole = role
 	a.abort(reason)
 }
 
@@ -176,10 +206,11 @@ func (a *attemptState) failFrom(p *sim.Proc, reason string) {
 	panic(sim.Interrupted{Reason: reason})
 }
 
-// failFromSite is failFrom with the failing server attributed.
-func (a *attemptState) failFromSite(p *sim.Proc, reason string, site int) {
+// failFromSite is failFrom with the failing server and role attributed.
+func (a *attemptState) failFromSite(p *sim.Proc, reason string, site, role int) {
 	if !a.failed && !a.finished {
 		a.failSite = site
+		a.failRole = role
 	}
 	a.failFrom(p, reason)
 }
@@ -204,15 +235,16 @@ func (a *attemptState) teardown() {
 // arms a watchdog: if the fetch is still the outstanding one when
 // fetchTimeout elapses, the attempt aborts (a dead or partitioned server is
 // indistinguishable from a slow one at the protocol level).
-func (a *attemptState) beginFetch(site int) {
+func (a *attemptState) beginFetch(site, role int) {
 	a.fetchSeq++
 	a.fetchOn = true
 	a.fetchSite = site
+	a.fetchRole = role
 	seq := a.fetchSeq
 	a.e.sim.SpawnDaemonLazy(func() string { return "fetch-watchdog" }, func(w *sim.Proc) {
 		w.Hold(a.e.ftl.fetchTimeout)
 		if a.fetchOn && a.fetchSeq == seq {
-			a.abortFrom(reasonFetchTimeout, a.fetchSite)
+			a.abortFrom(reasonFetchTimeout, a.fetchSite, a.fetchRole)
 		}
 	})
 }
@@ -235,7 +267,9 @@ func (e *engine) unregisterAttempt(a *attemptState) {
 }
 
 // crashServer is the injector's crash hook: flip the site down, lose its
-// volatile disk state, and abort every attempt that depends on it.
+// volatile disk state, and abort every attempt that depends on it. The
+// abort is attributed in the role the attempt was using the site in
+// (primary wins when both roles depend on it).
 func (e *engine) crashServer(i int) {
 	s := e.servers[i]
 	s.up = false
@@ -243,8 +277,12 @@ func (e *engine) crashServer(i int) {
 		d.CrashRestart()
 	}
 	for _, att := range e.attempts {
-		if att.deps[i] {
-			att.abortFrom(reasonSiteCrash, i)
+		if bits := att.deps[i]; bits != 0 {
+			role := RolePrimary
+			if bits&depPrimaryBit == 0 {
+				role = RoleSecondary
+			}
+			att.abortFrom(reasonSiteCrash, i, role)
 		}
 	}
 }
@@ -259,74 +297,150 @@ func (e *engine) siteUp(id catalog.SiteID) bool {
 	return e.servers[int(id)].up
 }
 
-// rebind maps the plan's compile-time binding onto the surviving sites:
+// siteWarming reports whether a restarted site is still inside its warm-up
+// window (faults.Config.WarmupDelay); warming copies are deprioritized by
+// pickCopy but never excluded, so the rule is inert at replication factor 1.
+func (e *engine) siteWarming(id catalog.SiteID) bool {
+	if id == catalog.Client {
+		return false
+	}
+	return e.sim.Now() < e.servers[int(id)].warmUntil
+}
+
+// pickCopy chooses the serving site for a scan of r whose binding chose the
+// copy at want. Preference order: the wanted copy if it is up and warm, then
+// the other copies in list order (the primary first) that are up and warm,
+// then — so a fleet of freshly restarted sites is still usable — the same
+// two passes with warming sites allowed. ok is false when every copy is
+// down. With a single copy this degenerates to e.siteUp(want), the exact
+// legacy liveness test.
+func (e *engine) pickCopy(r *catalog.Relation, want catalog.SiteID) (_ catalog.SiteID, ok bool) {
+	if e.siteUp(want) && !e.siteWarming(want) {
+		return want, true
+	}
+	for i := 0; i < r.NumCopies(); i++ {
+		if s := r.CopySite(i); s != want && e.siteUp(s) && !e.siteWarming(s) {
+			return s, true
+		}
+	}
+	if e.siteUp(want) {
+		return want, true
+	}
+	for i := 0; i < r.NumCopies(); i++ {
+		if s := r.CopySite(i); s != want && e.siteUp(s) {
+			return s, true
+		}
+	}
+	return want, false
+}
+
+// rebindState is the engine's reused re-binding scratch: the effective
+// binding, the per-scan page-fault sources that differ from the relation
+// home, and the attempt's verdict. One instance lives on the engine — the
+// kernel runs one process at a time and a binding is consumed synchronously
+// (gate check, dependency set, operator construction) before the next park
+// point, so reuse is safe and the per-attempt hot path allocates nothing.
+type rebindState struct {
+	eff       plan.Binding
+	srcs      map[*plan.Node]catalog.SiteID // client scans fetching from a non-home replica
+	runnable  bool
+	failovers int64
+}
+
+// rebind maps the plan's compile-time binding onto the surviving replicas.
+// Site liveness is consulted at call time — once per attempt — so a site
+// that recovers mid-backoff is eligible again on the very next attempt:
 //
-//   - A scan at a dead home falls back to the client iff the relation is
-//     fully cached there (client-side data shipping); a partially cached
-//     relation needs its home for the page faults, so the query is not
-//     runnable until the home restarts.
+//   - A scan whose wanted copy is dead is served by another live replica
+//     (pickCopy), falling back to the client iff the relation is fully
+//     cached there (client-side data shipping); with no live copy and only
+//     a partial cache the query is not runnable until a copy restarts.
+//   - A client-bound scan with page faults outstanding likewise fetches
+//     from the preferred live replica; the chosen source is recorded for
+//     newScan and the dependency set.
 //   - Any other operator at a dead site is relocated to its left (build)
 //     child's effective site when that survives, else to the client —
 //     the hybrid-shipping move of annotating operators at execution time.
 //
-// The second result reports whether every scan found a usable site; when
-// false the caller backs off and re-binds later instead of attempting.
+// Every scan served by a replica other than the one the binding chose
+// counts as a replica failover. The returned binding aliases the engine's
+// scratch and is valid only until the next rebind call.
 func (e *engine) rebind(root *plan.Node, base plan.Binding) (plan.Binding, bool) {
-	eff := make(plan.Binding, len(base))
-	runnable := true
-	var assign func(n *plan.Node) catalog.SiteID
-	assign = func(n *plan.Node) catalog.SiteID {
-		want := base[n]
-		if n.Kind == plan.KindScan {
-			r := e.cfg.Catalog.MustRelation(n.Table)
-			fully := e.cachedPagesOf(n.Table) >= r.Pages(e.cfg.Params.PageSize)
-			if want != catalog.Client {
-				if e.siteUp(want) {
-					eff[n] = want
-					return want
+	rb := &e.rb
+	if rb.eff == nil {
+		rb.eff = make(plan.Binding, len(base))
+		rb.srcs = make(map[*plan.Node]catalog.SiteID)
+	} else {
+		clear(rb.eff)
+		clear(rb.srcs)
+	}
+	rb.runnable = true
+	rb.failovers = 0
+	e.assignSite(rb, root, base)
+	return rb.eff, rb.runnable
+}
+
+// assignSite is rebind's recursion; method form so the per-attempt hot path
+// builds no closures.
+func (e *engine) assignSite(rb *rebindState, n *plan.Node, base plan.Binding) catalog.SiteID {
+	want := base[n]
+	if n.Kind == plan.KindScan {
+		r := e.cfg.Catalog.MustRelation(n.Table)
+		fully := e.cachedPagesOf(n.Table) >= r.Pages(e.cfg.Params.PageSize)
+		if want != catalog.Client {
+			if s, ok := e.pickCopy(r, want); ok {
+				if s != want {
+					rb.failovers++
 				}
-				if fully {
-					eff[n] = catalog.Client // ship cached data client-side
-					return catalog.Client
-				}
-				runnable = false
-				eff[n] = want
-				return want
+				rb.eff[n] = s
+				return s
 			}
-			if !fully && !e.siteUp(r.Home) {
-				runnable = false // the faulted remainder needs the home
+			if fully {
+				rb.eff[n] = catalog.Client // ship cached data client-side
+				return catalog.Client
 			}
-			eff[n] = catalog.Client
-			return catalog.Client
-		}
-		left := catalog.Client
-		if n.Left != nil {
-			left = assign(n.Left)
-		}
-		if n.Right != nil {
-			assign(n.Right)
-		}
-		if e.siteUp(want) {
-			eff[n] = want
+			rb.runnable = false
+			rb.eff[n] = want
 			return want
 		}
-		tgt := left
-		if !e.siteUp(tgt) {
-			tgt = catalog.Client
+		if !fully {
+			// The faulted remainder needs a live copy as its fetch source.
+			if s, ok := e.pickCopy(r, r.Home); !ok {
+				rb.runnable = false
+			} else if s != r.Home {
+				rb.failovers++
+				rb.srcs[n] = s
+			}
 		}
-		eff[n] = tgt
-		return tgt
+		rb.eff[n] = catalog.Client
+		return catalog.Client
 	}
-	assign(root)
-	return eff, runnable
+	left := catalog.Client
+	if n.Left != nil {
+		left = e.assignSite(rb, n.Left, base)
+	}
+	if n.Right != nil {
+		e.assignSite(rb, n.Right, base)
+	}
+	if e.siteUp(want) {
+		rb.eff[n] = want
+		return want
+	}
+	tgt := left
+	if !e.siteUp(tgt) {
+		tgt = catalog.Client
+	}
+	rb.eff[n] = tgt
+	return tgt
 }
 
 // queryOutcome is what one query's retry loop reports up to Run/RunMulti.
 type queryOutcome struct {
-	tuples      int64
-	retries     int64
-	abortedWork float64
-	backoffTime float64
+	tuples           int64
+	retries          int64
+	abortedWork      float64
+	backoffTime      float64
+	replicaFailovers int64
 }
 
 // deadlineState is the per-query deadline watchdog's shared state. The
@@ -386,11 +500,14 @@ func holdInterruptible(p *sim.Proc, dt float64) (completed bool) {
 	return true
 }
 
-// gateDenied returns the first attempt-dependency site the session's circuit
-// breakers refuse, or -1 when every needed site is admitted.
+// gateDenied returns the first attempt-dependency (site, role) the session's
+// circuit breakers refuse, or -1 when every needed dependency is admitted.
 func (e *engine) gateDenied(root *plan.Node, b plan.Binding) int {
-	for i, need := range e.attemptDeps(root, b) {
-		if need && !e.siteGate.Allow(i) {
+	for i, bits := range e.attemptDeps(root, b) {
+		if bits&depPrimaryBit != 0 && !e.siteGate.Allow(i, RolePrimary) {
+			return i
+		}
+		if bits&depSecondaryBit != 0 && !e.siteGate.Allow(i, RoleSecondary) {
 			return i
 		}
 	}
@@ -398,23 +515,26 @@ func (e *engine) gateDenied(root *plan.Node, b plan.Binding) int {
 }
 
 // reportAttempt feeds an attempt's outcome back to the session's circuit
-// breakers: success clears every dependency site, failure charges the site
-// the abort was attributed to (if any).
+// breakers: success clears every dependency (site, role), failure charges
+// the one the abort was attributed to (if any).
 func (e *engine) reportAttempt(att *attemptState, completed bool) {
 	g := e.siteGate
 	if g == nil {
 		return
 	}
 	if completed {
-		for i, need := range att.deps {
-			if need {
-				g.ReportSuccess(i)
+		for i, bits := range att.deps {
+			if bits&depPrimaryBit != 0 {
+				g.ReportSuccess(i, RolePrimary)
+			}
+			if bits&depSecondaryBit != 0 {
+				g.ReportSuccess(i, RoleSecondary)
 			}
 		}
 		return
 	}
 	if att.failSite >= 0 {
-		g.ReportFailure(att.failSite)
+		g.ReportFailure(att.failSite, att.failRole)
 	}
 }
 
@@ -458,6 +578,7 @@ func (e *engine) runQuery(p *sim.Proc, qi int, root *plan.Node, base plan.Bindin
 			}
 		}
 		if runnable {
+			out.replicaFailovers += e.rb.failovers
 			start := e.sim.Now()
 			att := e.newAttempt(p, root, eff)
 			if dl != nil {
@@ -485,6 +606,18 @@ func (e *engine) runQuery(p *sim.Proc, qi int, root *plan.Node, base plan.Bindin
 		}
 		if e.retryGate != nil && !e.retryGate.AllowRetry() {
 			return out, fmt.Errorf("exec: query %d: %w after %d attempts: %s", qi, ErrRetryBudgetExhausted, attempt+1, lastReason)
+		}
+		// A failed attempt whose scans can fail over to a surviving replica
+		// retries immediately: backoff exists to avoid hammering a down site,
+		// and the re-bound attempt no longer touches one. (runnable is still
+		// true here iff an attempt actually ran and failed — a gate denial
+		// must keep backing off or it would spin.) The probe rebind is pure —
+		// no virtual time, no RNG draw — and with a single copy failovers is
+		// always zero, so the legacy backoff sequence is bit-identical.
+		if runnable {
+			if _, ok := e.rebind(root, base); ok && e.rb.failovers > 0 {
+				continue
+			}
 		}
 		d := e.ftl.backoff(attempt, rng)
 		if holdInterruptible(p, d) {

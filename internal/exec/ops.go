@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hybridship/internal/catalog"
+	"hybridship/internal/plan"
 	"hybridship/internal/sim"
 )
 
@@ -16,16 +17,18 @@ type iterator interface {
 	close(p *sim.Proc)
 }
 
-// scanOp produces all tuples of a base relation (§2.1). At the primary copy
-// it reads the relation's extent sequentially from the local disk. At the
+// scanOp produces all tuples of a base relation (§2.1). At a server copy it
+// reads the relation's extent sequentially from the local disk. At the
 // client it reads the cached prefix from the client disk and faults the
-// remaining pages in from the home server. With BatchPages > 1 the scan
-// moves runs of contiguous pages per disk request (and per page-fault round
-// trip) and coalesces the run's CPU charges; the default is page at a time.
+// remaining pages in from a replica (the home server, unless failover chose
+// another copy as the fetch source). With BatchPages > 1 the scan moves runs
+// of contiguous pages per disk request (and per page-fault round trip) and
+// coalesces the run's CPU charges; the default is page at a time.
 type scanOp struct {
 	e      *engine
 	rel    string
 	atSite *site
+	atRole int // RolePrimary when atSite is the relation's home
 
 	relPages    int
 	cachedPages int
@@ -33,14 +36,16 @@ type scanOp struct {
 	nextPage    int
 	nextID      int64
 	tuples      int64
-	home        *site
+	src         *site // page-fault source for a client scan
+	srcRole     int   // RolePrimary when src is the relation's home
 
 	window int         // pages already paid for (I/O and CPU) but not yet emitted
 	reply  *sim.Buffer // reusable page-fault reply channel
 	att    *attemptState
 }
 
-func (e *engine) newScan(rel string, at catalog.SiteID, att *attemptState) *scanOp {
+func (e *engine) newScan(n *plan.Node, at catalog.SiteID, att *attemptState) *scanOp {
+	rel := n.Table
 	r := e.cfg.Catalog.MustRelation(rel)
 	s := &scanOp{
 		e:        e,
@@ -48,7 +53,6 @@ func (e *engine) newScan(rel string, at catalog.SiteID, att *attemptState) *scan
 		atSite:   e.site(at),
 		relPages: r.Pages(e.cfg.Params.PageSize),
 		tpp:      tuplesPerPage(e.cfg.Params.PageSize, r.TupleBytes),
-		home:     e.site(r.Home),
 		att:      att,
 	}
 	if at == catalog.Client {
@@ -56,8 +60,23 @@ func (e *engine) newScan(rel string, at catalog.SiteID, att *attemptState) *scan
 		if s.cachedPages > s.relPages {
 			s.cachedPages = s.relPages
 		}
-	} else if at != r.Home {
-		panic(fmt.Sprintf("exec: scan of %s bound to site %d, but home is %d", rel, at, r.Home))
+		// Page faults go to the home server unless this attempt's re-binding
+		// chose another replica as the fetch source (failover.go).
+		fetchFrom := r.Home
+		if v, ok := e.rb.srcs[n]; ok {
+			fetchFrom = v
+		}
+		s.src = e.site(fetchFrom)
+		if fetchFrom != r.Home {
+			s.srcRole = RoleSecondary
+		}
+	} else if !r.HasCopy(at) {
+		panic(fmt.Sprintf("exec: scan of %s bound to site %d, which holds no copy (home %d)", rel, at, r.Home))
+	} else {
+		s.src = e.site(r.Home)
+		if at != r.Home {
+			s.atRole = RoleSecondary
+		}
 	}
 	return s
 }
@@ -80,9 +99,9 @@ func (s *scanOp) fill(p *sim.Proc) {
 	}
 	switch {
 	case s.atSite.id != catalog.Client:
-		// Primary-copy scan: sequential read of the relation extent.
+		// Server-copy scan: sequential read of the relation extent.
 		if s.att != nil && !s.atSite.up {
-			s.att.failFromSite(p, reasonSiteDown, int(s.atSite.id))
+			s.att.failFromSite(p, reasonSiteDown, int(s.atSite.id), s.atRole)
 		}
 		s.atSite.chargeCPU(p, params, params.DiskInst*float64(n))
 		s.atSite.readRun(p, s.atSite.extents[s.rel].plus(pg), n)
@@ -94,36 +113,37 @@ func (s *scanOp) fill(p *sim.Proc) {
 		s.atSite.chargeCPU(p, params, params.DiskInst*float64(n))
 		s.atSite.readRun(p, s.atSite.extents[s.rel].plus(pg), n)
 	default:
-		// Page fault: synchronous request/response with the home server.
-		// The paper notes DS pays for the lack of overlap here (§4.2.3).
-		// Under fault injection the round trip is bounded by a watchdog: a
-		// server that died (or a partitioned link) just never answers, and
-		// only the timeout can tell that apart from queueing delay.
+		// Page fault: synchronous request/response with the fetch source
+		// (the home server, or the replica failover chose). The paper notes
+		// DS pays for the lack of overlap here (§4.2.3). Under fault
+		// injection the round trip is bounded by a watchdog: a server that
+		// died (or a partitioned link) just never answers, and only the
+		// timeout can tell that apart from queueing delay.
 		if s.reply == nil {
 			s.reply = sim.NewBuffer(s.e.sim, "fault-reply", 1)
 		}
 		if s.att != nil {
-			if !s.home.up {
-				s.att.failFromSite(p, reasonSiteDown, int(s.home.id))
+			if !s.src.up {
+				s.att.failFromSite(p, reasonSiteDown, int(s.src.id), s.srcRole)
 			}
 			// A session's circuit breaker sheds the fetch before any network
-			// round trip when the home site is hard-open (another query's
-			// failures tripped it mid-attempt): a breaker-open shed is not a
-			// failure observation, so no site is attributed.
-			if g := s.e.siteGate; g != nil && g.Shed(int(s.home.id)) {
+			// round trip when the source site's role is hard-open (another
+			// query's failures tripped it mid-attempt): a breaker-open shed
+			// is not a failure observation, so no site is attributed.
+			if g := s.e.siteGate; g != nil && g.Shed(int(s.src.id), s.srcRole) {
 				s.att.failFrom(p, reasonBreakerOpen)
 			}
-			s.att.beginFetch(int(s.home.id))
+			s.att.beginFetch(int(s.src.id), s.srcRole)
 		}
 		s.atSite.chargeCPU(p, params, params.msgCPUInstr(ctrlMsgBytes))
 		s.e.net.Transmit(p, ctrlMsgBytes, false)
-		s.home.pager.fetchRun(p, s.home.extents[s.rel].plus(pg), n, s.reply)
+		s.src.pager.fetchRun(p, s.src.extents[s.rel].plus(pg), n, s.reply)
 		s.atSite.chargeCPU(p, params, params.msgCPUInstr(n*params.PageSize))
 		if s.att != nil {
 			s.att.endFetch()
-			// A completed round trip is positive evidence the home is healthy.
+			// A completed round trip is positive evidence the source is healthy.
 			if g := s.e.siteGate; g != nil {
-				g.ReportSuccess(int(s.home.id))
+				g.ReportSuccess(int(s.src.id), s.srcRole)
 			}
 		}
 	}

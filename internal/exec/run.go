@@ -27,8 +27,8 @@ func Run(cfg Config, root *plan.Node) (Result, error) {
 // RunBound executes a plan under an explicit operator-to-site binding. This
 // is how §5's *static* plans run: their operator sites were frozen at
 // compile time, possibly under assumptions that no longer hold. Scans must
-// still be bound to the client or to the relation's true home (data can only
-// be read where it lives).
+// still be bound to the client or to a site holding a copy of the relation
+// (data can only be read where it lives).
 func RunBound(cfg Config, root *plan.Node, binding plan.Binding) (Result, error) {
 	e, err := newEngine(cfg)
 	if err != nil {
@@ -74,6 +74,8 @@ func RunBound(cfg Config, root *plan.Node, binding plan.Binding) (Result, error)
 		Retries:      out.retries,
 		AbortedWork:  out.abortedWork,
 		BackoffTime:  out.backoffTime,
+
+		ReplicaFailovers: out.replicaFailovers,
 	}
 	if e.inj != nil {
 		res.FaultStats = e.inj.Stats()
@@ -97,7 +99,7 @@ func (e *engine) build(n *plan.Node, b plan.Binding, consumerSite catalog.SiteID
 	var it iterator
 	switch n.Kind {
 	case plan.KindScan:
-		it = e.newScan(n.Table, site, att)
+		it = e.newScan(n, site, att)
 	case plan.KindSelect:
 		child := e.build(n.Left, b, site, att, ar)
 		it = e.newSelect(n.Rel, site, child)
@@ -175,9 +177,10 @@ type QueryResult struct {
 	ResultTuples int64
 
 	// Failure-awareness counters; zero when faults are disabled.
-	Retries     int64
-	AbortedWork float64
-	BackoffTime float64
+	Retries          int64
+	AbortedWork      float64
+	BackoffTime      float64
+	ReplicaFailovers int64
 }
 
 // multiQueryName is the static lazy-name formatter for RunMulti's per-query
@@ -227,9 +230,10 @@ func RunMulti(cfg Config, queries []QueryRun) (MultiResult, error) {
 			results[i] = QueryResult{
 				ResponseTime: e.sim.Now() - qr.Start,
 				ResultTuples: out.tuples,
-				Retries:      out.retries,
-				AbortedWork:  out.abortedWork,
-				BackoffTime:  out.backoffTime,
+				Retries:          out.retries,
+				AbortedWork:      out.abortedWork,
+				BackoffTime:      out.backoffTime,
+				ReplicaFailovers: out.replicaFailovers,
 			}
 		})
 	}

@@ -33,25 +33,37 @@ type QueryOpts struct {
 	Deadline float64
 }
 
-// SiteGate is the serving layer's per-site circuit-breaker hook. The engine
-// consults Allow for every site a new attempt depends on, Shed before each
-// in-flight page-fault round trip, and reports attempt outcomes back. All
-// calls happen on simulation processes, in deterministic kernel order.
+// Roles distinguish how an attempt depends on a site, so breakers can trip
+// independently per dependency kind. A site serves in RolePrimary when the
+// attempt scans (or fetches from) the relation's home copy there, and in
+// RoleSecondary when it serves a non-home replica (DESIGN.md §14). On an
+// unreplicated catalog every dependency is RolePrimary, preserving the
+// legacy single-breaker behaviour exactly.
+const (
+	RolePrimary = iota
+	RoleSecondary
+	numRoles
+)
+
+// SiteGate is the serving layer's per-(site, role) circuit-breaker hook. The
+// engine consults Allow for every site a new attempt depends on, Shed before
+// each in-flight page-fault round trip, and reports attempt outcomes back.
+// All calls happen on simulation processes, in deterministic kernel order.
 type SiteGate interface {
-	// Allow reports whether a new attempt may depend on the site. It may
-	// consume a half-open probe slot, so it is called once per (attempt,
-	// site), not per operation.
-	Allow(site int) bool
+	// Allow reports whether a new attempt may depend on the site in the given
+	// role. It may consume a half-open probe slot, so it is called once per
+	// (attempt, site, role), not per operation.
+	Allow(site, role int) bool
 	// Shed reports whether an in-flight fetch to the site should be abandoned
 	// (breaker hard-open, no probe due). Unlike Allow it never consumes a
 	// probe slot: the probe attempt itself must be able to keep fetching.
-	Shed(site int) bool
+	Shed(site, role int) bool
 	// ReportSuccess records positive evidence: a completed fetch round trip
-	// or a completed attempt (for every site it depended on).
-	ReportSuccess(site int)
-	// ReportFailure records the site a failed attempt's abort was attributed
-	// to (crash, fetch timeout, or down at scan time).
-	ReportFailure(site int)
+	// or a completed attempt (for every site and role it depended on).
+	ReportSuccess(site, role int)
+	// ReportFailure records the site and role a failed attempt's abort was
+	// attributed to (crash, fetch timeout, or down at scan time).
+	ReportFailure(site, role int)
 }
 
 // RetryGate is the serving layer's fleet-wide retry budget: consulted once
@@ -153,9 +165,10 @@ func (s *Session) Execute(p *sim.Proc, qi int, root *plan.Node, binding plan.Bin
 	return QueryResult{
 		ResponseTime: s.e.sim.Now() - start,
 		ResultTuples: out.tuples,
-		Retries:      out.retries,
-		AbortedWork:  out.abortedWork,
-		BackoffTime:  out.backoffTime,
+		Retries:          out.retries,
+		AbortedWork:      out.abortedWork,
+		BackoffTime:      out.backoffTime,
+		ReplicaFailovers: out.replicaFailovers,
 	}, err
 }
 

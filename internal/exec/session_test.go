@@ -161,10 +161,10 @@ type recordingGate struct {
 	failures  int
 }
 
-func (g *recordingGate) Allow(int) bool    { g.allows++; return !g.deny }
-func (g *recordingGate) Shed(int) bool     { return false }
-func (g *recordingGate) ReportSuccess(int) { g.successes++ }
-func (g *recordingGate) ReportFailure(int) { g.failures++ }
+func (g *recordingGate) Allow(int, int) bool    { g.allows++; return !g.deny }
+func (g *recordingGate) Shed(int, int) bool     { return false }
+func (g *recordingGate) ReportSuccess(int, int) { g.successes++ }
+func (g *recordingGate) ReportFailure(int, int) { g.failures++ }
 
 // TestSessionSiteGateShedsBeforeAttempting: a denying gate makes every round
 // unrunnable before any work is done, so the query burns no attempt time and

@@ -39,7 +39,7 @@ func (e *engine) vbuild(n *plan.Node, b plan.Binding, consumerSite catalog.SiteI
 	var it viter
 	switch n.Kind {
 	case plan.KindScan:
-		it = e.newVScan(n.Table, site, att, sub)
+		it = e.newVScan(n, site, att, sub)
 	case plan.KindSelect:
 		child := e.vbuild(n.Left, b, site, att, sub)
 		it = e.newVSelect(n.Rel, site, child, sub)
@@ -74,13 +74,13 @@ type vscan struct {
 	relTuples int64
 }
 
-func (e *engine) newVScan(rel string, at catalog.SiteID, att *attemptState, acc *chargeAcc) *vscan {
-	s := e.newScan(rel, at, att)
+func (e *engine) newVScan(n *plan.Node, at catalog.SiteID, att *attemptState, acc *chargeAcc) *vscan {
+	s := e.newScan(n, at, att)
 	return &vscan{
 		s: s, e: e, acc: acc,
 		w:         len(e.relIdx),
-		idx:       e.relIdx[rel],
-		relTuples: int64(e.cfg.Catalog.MustRelation(rel).Tuples),
+		idx:       e.relIdx[n.Table],
+		relTuples: int64(e.cfg.Catalog.MustRelation(n.Table).Tuples),
 	}
 }
 

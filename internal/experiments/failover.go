@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+
+	"hybridship/internal/cost"
+	"hybridship/internal/faults"
+	"hybridship/internal/stats"
+	"hybridship/internal/workload"
+)
+
+// The failover grid measures what replication buys under the chaos grid's
+// fault environment: the same 2-way join, half the pages client-cached,
+// stochastic site crashes over a sweep of MTBFs — but the catalog now holds
+// RF ∈ {1, 2, 3} copies of every relation (primaries all on server 0, extra
+// servers holding only replicas), and the engine's retry loop re-binds a
+// scan whose copy is down to a surviving replica instead of backing off
+// until the crashed site returns (DESIGN.md §14).
+//
+// Two figures come out of one grid, each with one series per (policy, RF):
+//
+//   - failover-avail: availability vs MTBF, measured as the share of the
+//     query's lifetime it was actively served rather than parked waiting out
+//     a failure, 100·(RT − BackoffTime)/RT. An unreplicated query whose home
+//     site crashes can only back off until the site returns; a replicated
+//     one re-binds and keeps running, so replication attacks exactly this
+//     term.
+//   - failover-goodput: the chaos grid's useful-work fraction, 100·(RT −
+//     AbortedWork − BackoffTime)/RT, which additionally charges the work
+//     thrown away by crash-aborted attempts.
+//
+// Runs are paired three ways: for a given (MTBF, rep) cell every policy and
+// every RF sees the same simulation seed and the same fault-stream seed, and
+// fault streams are derived per site, so server 0's crash schedule is
+// bit-identical across the whole RF axis. The driver itself asserts the
+// headline property — RF=2 and RF=3 availability dominate RF=1 at every
+// (policy, MTBF) — and that every RF=1 cell reproduces the unreplicated
+// chaos configuration exactly (reflect.DeepEqual of the full exec result),
+// so `csq run failover` is self-checking.
+
+// failoverWarmup is the post-restart warm-up delay (seconds) during which a
+// recovered site's copies are deprioritized: its controller caches come back
+// cold, so a warm replica is preferred while one is up. Inert at RF=1.
+const failoverWarmup = 0.5
+
+// seedReplicaPlace tags the replica-placement stream within the experiment
+// seed space (the chaos grid's opt/sim/fault tags 60-62 are the neighbors).
+const seedReplicaPlace = 63
+
+// failoverRFs is the replication-factor axis of the grid.
+var failoverRFs = []int{1, 2, 3}
+
+// Failover runs the replication grid and returns the availability and
+// response-time figures.
+func (c Config) Failover() ([]*Figure, error) {
+	avFig := &Figure{
+		ID: "failover-avail", Title: "Availability, 2-Way Join; 50% Cached, Min Alloc, Site Crashes (MTTR 2s), RF 1-3",
+		XLabel: "MTBF[s]",
+		YLabel: "availability[%]",
+	}
+	gpFig := &Figure{
+		ID: "failover-goodput", Title: "Goodput, 2-Way Join; 50% Cached, Min Alloc, Site Crashes (MTTR 2s), RF 1-3",
+		XLabel: "MTBF[s]",
+		YLabel: "goodput[%]",
+	}
+	sweep := c.chaosSweep()
+	reps := c.reps()
+	nRF := len(failoverRFs)
+	type cell struct{ avail, goodput float64 }
+	vals := make([]cell, len(allPolicies)*nRF*len(sweep)*reps)
+	err := parallelFor(len(vals), func(idx int) error {
+		pf, xi, rep := grid3(idx, len(sweep), reps)
+		pi, fi := pf/nRF, pf%nRF
+		rf := failoverRFs[fi]
+		r, err := c.failoverRun(pi, xi, rep, rf)
+		if err != nil {
+			return err
+		}
+		res, err := r.measure()
+		if err != nil {
+			return err
+		}
+		if rf == 1 {
+			// The RF=1 column is the exact legacy path: rerun the literal
+			// chaos configuration (no replication fields at all) and demand
+			// the identical result, fault statistics and disk counters
+			// included.
+			legacy, err := c.failoverRun(pi, xi, rep, 1)
+			if err != nil {
+				return err
+			}
+			legacy.faults.WarmupDelay = 0
+			legacyRes, err := legacy.measure()
+			if err != nil {
+				return err
+			}
+			if !reflect.DeepEqual(res, legacyRes) {
+				return fmt.Errorf("failover: RF=1 cell (policy %s, MTBF %g, rep %d) diverges from the unreplicated chaos path:\n got %+v\nwant %+v",
+					policyNames[allPolicies[pi]], sweep[xi], rep, res, legacyRes)
+			}
+		}
+		avail, goodput := 100.0, 100.0
+		if res.ResponseTime > 0 {
+			avail = 100 * (res.ResponseTime - res.BackoffTime) / res.ResponseTime
+			goodput = 100 * (res.ResponseTime - res.AbortedWork - res.BackoffTime) / res.ResponseTime
+		}
+		vals[idx] = cell{avail: avail, goodput: goodput}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	means := make([]stats.Sample, len(allPolicies)*nRF*len(sweep))
+	for pi := range allPolicies {
+		for fi, rf := range failoverRFs {
+			avSeries := Series{Name: fmt.Sprintf("%s rf=%d", policyNames[allPolicies[pi]], rf)}
+			gpSeries := Series{Name: avSeries.Name}
+			for xi, mtbf := range sweep {
+				var av, gp stats.Sample
+				for rep := 0; rep < reps; rep++ {
+					v := vals[((pi*nRF+fi)*len(sweep)+xi)*reps+rep]
+					av.Add(v.avail)
+					gp.Add(v.goodput)
+				}
+				means[(pi*nRF+fi)*len(sweep)+xi] = av
+				avSeries.Points = append(avSeries.Points, Point{
+					X: mtbf, Mean: av.Mean(), CI: av.CI90(), N: av.N(),
+				})
+				gpSeries.Points = append(gpSeries.Points, Point{
+					X: mtbf, Mean: gp.Mean(), CI: gp.CI90(), N: gp.N(),
+				})
+			}
+			avFig.Series = append(avFig.Series, avSeries)
+			gpFig.Series = append(gpFig.Series, gpSeries)
+		}
+	}
+	// The headline property, checked on every run: replication never costs
+	// availability. Paired seeds make the comparison exact, so no tolerance.
+	for pi := range allPolicies {
+		for xi, mtbf := range sweep {
+			base := means[(pi*nRF+0)*len(sweep)+xi].Mean()
+			for fi := 1; fi < nRF; fi++ {
+				if got := means[(pi*nRF+fi)*len(sweep)+xi].Mean(); got < base {
+					return nil, fmt.Errorf("failover: availability regression: policy %s, MTBF %g: rf=%d mean %.4f%% below rf=1 mean %.4f%%",
+						policyNames[allPolicies[pi]], mtbf, failoverRFs[fi], got, base)
+				}
+			}
+		}
+	}
+	return []*Figure{avFig, gpFig}, nil
+}
+
+// failoverRun assembles one grid cell's run: the chaos configuration (same
+// query, caching, and seed tags) over a catalog with rf servers and rf
+// copies of every relation. rf=1 builds a catalog byte-identical to the
+// chaos grid's.
+func (c Config) failoverRun(pi, xi, rep, rf int) (run, error) {
+	sweep := c.chaosSweep()
+	cat, err := workload.BuildCatalog(4096, rf, workload.PlaceRoundRobin(2, 1))
+	if err != nil {
+		return run{}, err
+	}
+	if err := workload.CacheAllFraction(cat, 0.5); err != nil {
+		return run{}, err
+	}
+	if rf > 1 {
+		if err := cat.ReplicateAll(rf, seedFor(c.Seed, seedReplicaPlace)); err != nil {
+			return run{}, err
+		}
+	}
+	return run{
+		cat: cat, q: workload.ChainQuery(2, workload.Moderate),
+		policy: allPolicies[pi], metric: cost.MetricResponseTime, maxAlloc: false,
+		next:    workload.Next(workload.Moderate),
+		optSeed: seedFor(c.Seed, int64(allPolicies[pi]), int64(xi), int64(rep), 60),
+		simSeed: seedFor(c.Seed, int64(xi), int64(rep), 61),
+		faults: &faults.Config{
+			Seed:        seedFor(c.Seed, int64(xi), int64(rep), 62),
+			SiteMTBF:    sweep[xi],
+			SiteMTTR:    chaosMTTR,
+			MaxRetries:  chaosRetries,
+			WarmupDelay: failoverWarmup,
+		},
+	}, nil
+}

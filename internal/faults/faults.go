@@ -72,6 +72,14 @@ type Config struct {
 	BackoffBase float64
 	BackoffMax  float64
 
+	// WarmupDelay is how long (virtual seconds) a restarted site's copies are
+	// deprioritized during replica selection after the restart: its disk
+	// controller caches come back cold, so re-binding to a warm replica first
+	// is usually cheaper (DESIGN.md §14). Warming sites remain bindable — they
+	// are only passed over when a warm copy is also up. 0 (the default)
+	// disables the rule, preserving legacy behaviour.
+	WarmupDelay float64
+
 	// Script lists explicit, fully specified fault events, applied in
 	// addition to (typically instead of) the stochastic streams. Tests use
 	// it to place a crash at an exact virtual time.

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"hybridship/internal/catalog"
 	"hybridship/internal/plan"
 	"hybridship/internal/query"
 )
@@ -20,6 +21,8 @@ const (
 	mvJoinAnn   // change a join's annotation
 	mvSelectAnn // toggle a select between consumer and producer
 	mvScanAnn   // toggle a scan between client and primary copy
+	// Replica rebinding (beyond the paper; DESIGN.md §14).
+	mvScanCopy // point a scan at another replica of its relation
 )
 
 // move is one candidate transformation: a node (identified by its pre-order
@@ -71,18 +74,21 @@ func subtreeMask(q *query.Query, n *plan.Node) uint64 {
 // joins avoid Cartesian products; annotation moves are offered only for
 // annotations the policy allows (Table 1) — which is how the optimizer is
 // "configured to generate plans from one of the three policies" (§3.1.1).
-// The result depends only on the tree's shape (and the fixed policy), so
-// callers cache it until a join-order move is accepted.
-func candidateMoves(q *query.Query, opts Options, nodes []*plan.Node, buf []move) []move {
+// Copy moves exist only for replicated relations under policies that permit
+// server-side scans, so an unreplicated catalog enumerates exactly the
+// legacy move list. The result depends only on the tree's shape (plus the
+// fixed policy and catalog), so callers cache it until a join-order move is
+// accepted.
+func candidateMoves(q *query.Query, opts Options, cat *catalog.Catalog, nodes []*plan.Node, buf []move) []move {
 	if q.MaskSupported() {
-		return candidateMovesMask(q, opts, nodes, buf)
+		return candidateMovesMask(q, opts, cat, nodes, buf)
 	}
-	return candidateMovesMaps(q, opts, nodes, buf)
+	return candidateMovesMaps(q, opts, cat, nodes, buf)
 }
 
 // candidateMovesMask is the allocation-free enumeration over relation
 // bitmasks, used for every query of at most 64 relations.
-func candidateMovesMask(q *query.Query, opts Options, nodes []*plan.Node, buf []move) []move {
+func candidateMovesMask(q *query.Query, opts Options, cat *catalog.Catalog, nodes []*plan.Node, buf []move) []move {
 	moves := buf[:0]
 	for i, n := range nodes {
 		switch n.Kind {
@@ -133,6 +139,7 @@ func candidateMovesMask(q *query.Query, opts Options, nodes []*plan.Node, buf []
 			moves = appendAnnMoves(moves, i, mvSelectAnn, n.Kind, opts.Policy)
 		case plan.KindScan:
 			moves = appendAnnMoves(moves, i, mvScanAnn, plan.KindScan, opts.Policy)
+			moves = appendCopyMoves(moves, i, n, cat, opts.Policy)
 		}
 	}
 	return moves
@@ -140,7 +147,7 @@ func candidateMovesMask(q *query.Query, opts Options, nodes []*plan.Node, buf []
 
 // candidateMovesMaps is the map-set fallback for queries too wide for
 // bitmasks.
-func candidateMovesMaps(q *query.Query, opts Options, nodes []*plan.Node, buf []move) []move {
+func candidateMovesMaps(q *query.Query, opts Options, cat *catalog.Catalog, nodes []*plan.Node, buf []move) []move {
 	moves := buf[:0]
 	for i, n := range nodes {
 		switch n.Kind {
@@ -192,6 +199,7 @@ func candidateMovesMaps(q *query.Query, opts Options, nodes []*plan.Node, buf []
 			moves = appendAnnMoves(moves, i, mvSelectAnn, n.Kind, opts.Policy)
 		case plan.KindScan:
 			moves = appendAnnMoves(moves, i, mvScanAnn, plan.KindScan, opts.Policy)
+			moves = appendCopyMoves(moves, i, n, cat, opts.Policy)
 		}
 	}
 	return moves
@@ -205,6 +213,39 @@ func appendAnnMoves(moves []move, i int, kind moveKind, k plan.Kind, p plan.Poli
 		moves = append(moves, move{i, kind, s})
 	}
 	return moves
+}
+
+// appendCopyMoves adds one slot per alternative replica of a scan's
+// relation. Like annotation moves the targets are slot-based (a relation
+// with m copies always has m-1 alternatives), and they are offered only
+// under policies that can place the scan at a server at all.
+func appendCopyMoves(moves []move, i int, n *plan.Node, cat *catalog.Catalog, p plan.Policy) []move {
+	if p == plan.DataShipping || cat == nil {
+		return moves
+	}
+	rel, ok := cat.Relation(n.Table)
+	if !ok {
+		return moves
+	}
+	for s := 0; s < rel.NumCopies()-1; s++ {
+		moves = append(moves, move{i, mvScanCopy, s})
+	}
+	return moves
+}
+
+// targetCopy resolves a slot-based copy move: the slot-th copy index of the
+// scan's relation, skipping the scan's current one.
+func targetCopy(n *plan.Node, numCopies, slot int) int {
+	for c := 0; c < numCopies; c++ {
+		if c == n.Copy {
+			continue
+		}
+		if slot == 0 {
+			return c
+		}
+		slot--
+	}
+	return n.Copy // unreachable for a legal move
 }
 
 // targetAnn resolves a slot-based annotation move: the slot-th allowed
@@ -229,13 +270,14 @@ type undoRec struct {
 	nLeft, nRight *plan.Node
 	kLeft, kRight *plan.Node
 	nAnn, kAnn    plan.Annotation
+	nCopy         int
 	changedShape  bool
 }
 
 // revert undoes the move recorded by applyMove.
 func (u *undoRec) revert() {
 	if u.n != nil {
-		u.n.Left, u.n.Right, u.n.Ann = u.nLeft, u.nRight, u.nAnn
+		u.n.Left, u.n.Right, u.n.Ann, u.n.Copy = u.nLeft, u.nRight, u.nAnn, u.nCopy
 	}
 	if u.k != nil {
 		u.k.Left, u.k.Right, u.k.Ann = u.kLeft, u.kRight, u.kAnn
@@ -247,9 +289,9 @@ func (u *undoRec) revert() {
 // index and the cached move list). Neighbors may be ill-formed (annotation
 // cycles); callers must validate via binding, per §2.2.3 ("it is very easy
 // to sort out ill-formed plans during query optimization").
-func applyMove(nodes []*plan.Node, mv move, p plan.Policy, u *undoRec) bool {
+func applyMove(nodes []*plan.Node, mv move, p plan.Policy, cat *catalog.Catalog, u *undoRec) bool {
 	n := nodes[mv.nodeIdx]
-	*u = undoRec{n: n, nLeft: n.Left, nRight: n.Right, nAnn: n.Ann}
+	*u = undoRec{n: n, nLeft: n.Left, nRight: n.Right, nAnn: n.Ann, nCopy: n.Copy}
 	saveChild := func(k *plan.Node) {
 		u.k, u.kLeft, u.kRight, u.kAnn = k, k.Left, k.Right, k.Ann
 	}
@@ -304,6 +346,8 @@ func applyMove(nodes []*plan.Node, mv move, p plan.Policy, u *undoRec) bool {
 		u.changedShape = true
 	case mvJoinAnn, mvSelectAnn, mvScanAnn:
 		n.Ann = targetAnn(n, p, mv.slot)
+	case mvScanCopy:
+		n.Copy = targetCopy(n, cat.MustRelation(n.Table).NumCopies(), mv.slot)
 	}
 	return u.changedShape
 }
@@ -314,7 +358,7 @@ func applyMove(nodes []*plan.Node, mv move, p plan.Policy, u *undoRec) bool {
 // in-place searchState stepping, kept for one-off exploration and tests.
 func (o *Optimizer) neighbor(root *plan.Node) (*plan.Node, bool) {
 	nodes := indexNodes(root, nil)
-	moves := candidateMoves(o.model.Query, o.opts, nodes, nil)
+	moves := candidateMoves(o.model.Query, o.opts, o.model.Catalog, nodes, nil)
 	if len(moves) == 0 {
 		return nil, false
 	}
@@ -323,6 +367,6 @@ func (o *Optimizer) neighbor(root *plan.Node) (*plan.Node, bool) {
 	o.mu.Unlock()
 	next := root.Clone()
 	var u undoRec
-	applyMove(indexNodes(next, nil), mv, o.opts.Policy, &u)
+	applyMove(indexNodes(next, nil), mv, o.opts.Policy, o.model.Catalog, &u)
 	return next, true
 }

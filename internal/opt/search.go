@@ -85,7 +85,7 @@ func (st *searchState) reset(root *plan.Node, est cost.Estimate) {
 
 func (st *searchState) ensureMoves() []move {
 	if !st.movesValid {
-		st.moves = candidateMoves(st.o.model.Query, st.opts, st.nodes, st.moves)
+		st.moves = candidateMoves(st.o.model.Query, st.opts, st.o.model.Catalog, st.nodes, st.moves)
 		st.movesValid = true
 	}
 	return st.moves
@@ -141,7 +141,7 @@ func (st *searchState) descend() {
 			return // no legal moves at all (e.g. DS 2-way join)
 		}
 		mv := moves[st.rng.Intn(len(moves))]
-		changedShape := applyMove(st.nodes, mv, st.opts.Policy, &u)
+		changedShape := applyMove(st.nodes, mv, st.opts.Policy, st.o.model.Catalog, &u)
 		if e, ok := st.evaluate(); ok && st.value(e) < st.value(st.est) {
 			st.accept(e, changedShape)
 			failures = 0
@@ -184,7 +184,7 @@ func (st *searchState) anneal() Result {
 				return best
 			}
 			mv := moves[st.rng.Intn(len(moves))]
-			changedShape := applyMove(st.nodes, mv, st.opts.Policy, &u)
+			changedShape := applyMove(st.nodes, mv, st.opts.Policy, st.o.model.Catalog, &u)
 			e, ok := st.evaluate()
 			if !ok {
 				u.revert()

@@ -71,11 +71,13 @@ func (bd *Binder) Bind(root *Node, cat *catalog.Catalog, submitSite catalog.Site
 				b[n] = submitSite
 			case AnnPrimary:
 				rel, ok := cat.Relation(n.Table)
-				if !ok {
+				if !ok || n.Copy >= rel.NumCopies() {
 					unresolved = append(unresolved, n) // reported below
 					return
 				}
-				b[n] = rel.Home
+				// Copy 0 is the primary at Home; higher indices bind the
+				// scan to a secondary replica of the relation.
+				b[n] = rel.CopySite(n.Copy)
 			default:
 				unresolved = append(unresolved, n)
 			}
@@ -85,8 +87,12 @@ func (bd *Binder) Bind(root *Node, cat *catalog.Catalog, submitSite catalog.Site
 	})
 	for _, n := range unresolved {
 		if n.Kind == KindScan {
-			if _, ok := cat.Relation(n.Table); !ok {
+			rel, ok := cat.Relation(n.Table)
+			if !ok {
 				return nil, fmt.Errorf("plan: scan of unknown relation %q", n.Table)
+			}
+			if n.Ann == AnnPrimary && n.Copy >= rel.NumCopies() {
+				return nil, fmt.Errorf("plan: scan of %q names copy %d, but the relation has %d", n.Table, n.Copy, rel.NumCopies())
 			}
 			return nil, fmt.Errorf("plan: scan of %q has invalid annotation %v", n.Table, n.Ann)
 		}

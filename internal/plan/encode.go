@@ -16,6 +16,7 @@ type nodeJSON struct {
 	Ann   string    `json:"ann"`
 	Table string    `json:"table,omitempty"`
 	Rel   string    `json:"rel,omitempty"`
+	Copy  int       `json:"copy,omitempty"`
 	Left  *nodeJSON `json:"left,omitempty"`
 	Right *nodeJSON `json:"right,omitempty"`
 }
@@ -59,6 +60,7 @@ func toJSON(n *Node) *nodeJSON {
 		Ann:   annNames[n.Ann],
 		Table: n.Table,
 		Rel:   n.Rel,
+		Copy:  n.Copy,
 		Left:  toJSON(n.Left),
 		Right: toJSON(n.Right),
 	}
@@ -84,7 +86,7 @@ func fromJSON(j *nodeJSON) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Node{Kind: kind, Ann: ann, Table: j.Table, Rel: j.Rel, Left: left, Right: right}, nil
+	return &Node{Kind: kind, Ann: ann, Table: j.Table, Rel: j.Rel, Copy: j.Copy, Left: left, Right: right}, nil
 }
 
 // Marshal encodes a plan as JSON. The plan must be structurally valid.

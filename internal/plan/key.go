@@ -14,6 +14,10 @@ func AppendKey(buf []byte, n *Node) []byte {
 	buf = append(buf, byte(n.Kind)<<4|byte(n.Ann))
 	switch n.Kind {
 	case KindScan:
+		// The copy index distinguishes plans that differ only in which
+		// replica a scan reads; replication factors are tiny (≤3), so one
+		// byte is plenty.
+		buf = append(buf, byte(n.Copy))
 		buf = append(buf, n.Table...)
 		buf = append(buf, 0)
 	case KindSelect:

@@ -169,6 +169,12 @@ type Node struct {
 	Right *Node
 	Table string // scan: relation name
 	Rel   string // select: the relation whose predicate this select applies
+
+	// Copy selects which replica a primary-copy scan reads: an index into
+	// the relation's copy list, 0 being the primary at Home. Ignored for
+	// client-annotated scans and meaningless on other kinds. Zero on every
+	// legacy plan, so unreplicated catalogs bind exactly as before.
+	Copy int
 }
 
 // Constructors for each operator kind.
@@ -296,6 +302,14 @@ func CheckStructure(root *Node) error {
 				err = fmt.Errorf("plan: scan without a relation")
 				return
 			}
+			if n.Copy < 0 {
+				err = fmt.Errorf("plan: scan of %q has negative copy index %d", n.Table, n.Copy)
+				return
+			}
+		}
+		if n.Kind != KindScan && n.Copy != 0 {
+			err = fmt.Errorf("plan: %v carries a copy index; only scans read replicas", n.Kind)
+			return
 		}
 		check(n.Left, false)
 		check(n.Right, false)
@@ -336,7 +350,11 @@ func (n *Node) String() string {
 		b.WriteString(strings.Repeat("  ", depth))
 		switch m.Kind {
 		case KindScan:
-			fmt.Fprintf(&b, "scan(%s) [%v]\n", m.Table, m.Ann)
+			if m.Copy != 0 {
+				fmt.Fprintf(&b, "scan(%s) [%v #%d]\n", m.Table, m.Ann, m.Copy)
+			} else {
+				fmt.Fprintf(&b, "scan(%s) [%v]\n", m.Table, m.Ann)
+			}
 		case KindSelect:
 			fmt.Fprintf(&b, "select(%s) [%v]\n", m.Rel, m.Ann)
 		default:
@@ -370,7 +388,11 @@ func FormatBound(n *Node, b Binding) string {
 		sb.WriteString(strings.Repeat("  ", depth))
 		switch m.Kind {
 		case KindScan:
-			fmt.Fprintf(&sb, "scan(%s) [%v] @ %s\n", m.Table, m.Ann, site(m))
+			if m.Copy != 0 {
+				fmt.Fprintf(&sb, "scan(%s) [%v #%d] @ %s\n", m.Table, m.Ann, m.Copy, site(m))
+			} else {
+				fmt.Fprintf(&sb, "scan(%s) [%v] @ %s\n", m.Table, m.Ann, site(m))
+			}
 		case KindSelect:
 			fmt.Fprintf(&sb, "select(%s) [%v] @ %s\n", m.Rel, m.Ann, site(m))
 		default:

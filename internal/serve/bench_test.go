@@ -23,8 +23,8 @@ func BenchmarkBreakerCheck(b *testing.B) {
 	set := NewBreakerSet(clk.now, 4, 1, BreakerParams{})
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		set.Allow(i & 3)
-		set.Shed(i & 3)
+		set.Allow(i&3, i&1)
+		set.Shed(i&3, i&1)
 	}
 }
 
@@ -34,7 +34,7 @@ func BenchmarkBreakerReportSuccess(b *testing.B) {
 	set := NewBreakerSet(clk.now, 4, 1, BreakerParams{})
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		set.ReportSuccess(i & 3)
+		set.ReportSuccess(i&3, i&1)
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"reflect"
 	"runtime"
 	"testing"
+
+	"hybridship/internal/exec"
 )
 
 // clock is a settable test clock for the breaker's now() hook.
@@ -14,16 +16,17 @@ func (c *clock) advance(dt float64) { c.t += dt }
 
 // Step opcodes for the table-driven state-machine tests.
 const (
-	opFail  = iota // ReportFailure(site)
-	opSucc         // ReportSuccess(site)
-	opAllow        // Allow(site), check the returned verdict
-	opShed         // Shed(site), check the returned verdict
+	opFail  = iota // ReportFailure(site, role)
+	opSucc         // ReportSuccess(site, role)
+	opAllow        // Allow(site, role), check the returned verdict
+	opShed         // Shed(site, role), check the returned verdict
 )
 
 type step struct {
 	advance   float64 // move the clock first
 	op        int
 	site      int
+	role      int
 	want      bool // for opAllow / opShed
 	wantState int  // breaker state after the step
 }
@@ -84,6 +87,18 @@ func TestBreakerStateMachine(t *testing.T) {
 			{op: opFail, site: 1}, {op: opFail, site: 1}, {op: opFail, site: 1, wantState: StateOpen},
 			{op: opAllow, site: 0, want: true, wantState: StateClosed},
 		}},
+		{"failures only charge their own role", []step{
+			{op: opFail, role: exec.RoleSecondary},
+			{op: opFail, role: exec.RoleSecondary},
+			{op: opFail, role: exec.RoleSecondary, wantState: StateOpen},
+			{op: opAllow, role: exec.RolePrimary, want: true, wantState: StateClosed},
+			{op: opShed, role: exec.RolePrimary, want: false, wantState: StateClosed},
+		}},
+		{"secondary recovery leaves the primary breaker open", []step{
+			{op: opFail}, {op: opFail}, {op: opFail, wantState: StateOpen},
+			{op: opSucc, role: exec.RoleSecondary, wantState: StateOpen},
+			{op: opAllow, want: false, wantState: StateOpen},
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -94,19 +109,26 @@ func TestBreakerStateMachine(t *testing.T) {
 				var got, checked bool
 				switch st.op {
 				case opFail:
-					b.ReportFailure(st.site)
+					b.ReportFailure(st.site, st.role)
 				case opSucc:
-					b.ReportSuccess(st.site)
+					b.ReportSuccess(st.site, st.role)
 				case opAllow:
-					got, checked = b.Allow(st.site), true
+					got, checked = b.Allow(st.site, st.role), true
 				case opShed:
-					got, checked = b.Shed(st.site), true
+					got, checked = b.Shed(st.site, st.role), true
 				}
 				if checked && got != st.want {
 					t.Fatalf("step %d: verdict = %v, want %v", i, got, st.want)
 				}
-				if b.State(st.site) != st.wantState {
-					t.Fatalf("step %d: state = %d, want %d", i, b.State(st.site), st.wantState)
+				// wantState always refers to the breaker named by the step,
+				// so cross-role cases read back the role they exercised —
+				// except the two probes above, which check the primary.
+				checkRole := st.role
+				if tc.name == "secondary recovery leaves the primary breaker open" {
+					checkRole = exec.RolePrimary
+				}
+				if b.State(st.site, checkRole) != st.wantState {
+					t.Fatalf("step %d: state = %d, want %d", i, b.State(st.site, checkRole), st.wantState)
 				}
 			}
 		})
@@ -114,31 +136,32 @@ func TestBreakerStateMachine(t *testing.T) {
 }
 
 // TestBreakerProbeTimesDeterministic: the seeded probe schedule is a pure
-// function of (seed, site, opened-count) — identical across GOMAXPROCS and
-// jittered within [0.75, 1.25)×Cooldown.
+// function of (seed, site, role, opened-count) — identical across GOMAXPROCS
+// and jittered within [0.75, 1.25)×Cooldown. The secondary-role stream must
+// differ from the primary stream (separate seed tags).
 func TestBreakerProbeTimesDeterministic(t *testing.T) {
-	schedule := func() []float64 {
+	schedule := func(role int) []float64 {
 		clk := &clock{}
 		b := NewBreakerSet(clk.now, 3, 7, BreakerParams{Threshold: 1, Cooldown: 1})
 		var out []float64
 		for round := 0; round < 5; round++ {
 			for site := 0; site < 3; site++ {
-				b.ReportFailure(site) // threshold 1: opens immediately
-				out = append(out, b.sites[site].probeAt-clk.t)
+				b.ReportFailure(site, role) // threshold 1: opens immediately
+				out = append(out, b.at(site, role).probeAt-clk.t)
 				clk.advance(2)
-				if !b.Allow(site) {
+				if !b.Allow(site, role) {
 					t.Fatalf("probe not due 2s after opening (cooldown jitter must stay below 1.25)")
 				}
-				b.ReportSuccess(site)
+				b.ReportSuccess(site, role)
 			}
 		}
 		return out
 	}
 
 	prev := runtime.GOMAXPROCS(1)
-	one := schedule()
+	one := schedule(exec.RolePrimary)
 	runtime.GOMAXPROCS(8)
-	eight := schedule()
+	eight := schedule(exec.RolePrimary)
 	runtime.GOMAXPROCS(prev)
 
 	if !reflect.DeepEqual(one, eight) {
@@ -159,12 +182,27 @@ func TestBreakerProbeTimesDeterministic(t *testing.T) {
 	if allSame {
 		t.Error("every probe delay identical: jitter stream not wired")
 	}
+
+	secondary := schedule(exec.RoleSecondary)
+	if reflect.DeepEqual(one, secondary) {
+		t.Error("secondary-role probe schedule identical to primary: role tag not wired")
+	}
+	for i, d := range secondary {
+		if d < 0.75 || d >= 1.25 {
+			t.Errorf("secondary probe delay %d = %g outside the jitter window [0.75, 1.25)", i, d)
+		}
+	}
 }
 
 func TestBreakerZeroAllocChecks(t *testing.T) {
 	clk := &clock{}
 	b := NewBreakerSet(clk.now, 1, 1, BreakerParams{})
-	if n := testing.AllocsPerRun(1000, func() { b.Allow(0); b.Shed(0) }); n != 0 {
+	if n := testing.AllocsPerRun(1000, func() {
+		b.Allow(0, exec.RolePrimary)
+		b.Shed(0, exec.RolePrimary)
+		b.Allow(0, exec.RoleSecondary)
+		b.Shed(0, exec.RoleSecondary)
+	}); n != 0 {
 		t.Errorf("Allow+Shed allocate %v per call, want 0", n)
 	}
 }

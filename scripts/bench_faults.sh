@@ -13,6 +13,9 @@
 #     attempts and interruptible waits.
 #   - BenchmarkRun2WayQSFaultsChaos: a short query under live stochastic
 #     crashes — what an actually-faulted execution costs.
+#   - BenchmarkReplicaRebindFaults: the failover re-binding pass over a
+#     replicated catalog with a dead primary — what every retry pays before
+#     its attempt is built. Must report 0 allocs/op.
 #
 # Usage: scripts/bench_faults.sh  (from the repo root; writes BENCH_faults.json)
 set -eu

@@ -43,6 +43,8 @@ echo "== go test -race ./..."
 go test -race ./...
 echo "== chaos smoke (short MTBF sweep end-to-end under the race detector)"
 go run -race ./cmd/csq run -quick -reps 2 chaos >/dev/null
+echo "== failover smoke (replication availability grid, RF 1-3, under the race detector)"
+go run -race ./cmd/csq run -quick -reps 2 failover >/dev/null
 echo "== overload smoke (serving-layer grid end-to-end under the race detector)"
 go run -race ./cmd/csq run -quick -reps 2 overload >/dev/null
 echo "== shardscale smoke (parallel kernel: fleet equality at 1/2/4/8 shards under the race detector)"
@@ -52,6 +54,7 @@ go run -race ./cmd/csq run -quick -reps 1 vecscale >/dev/null
 echo "== fuzz smoke (2s per target)"
 go test -run '^$' -fuzz '^FuzzPlanWellFormed$' -fuzztime 2s ./internal/plan/
 go test -run '^$' -fuzz '^FuzzSeedMix$' -fuzztime 2s ./internal/seedmix/
+go test -run '^$' -fuzz '^FuzzFaultSchedule$' -fuzztime 2s ./internal/faults/
 echo "== bench smoke (1 iteration per benchmark, every package with benchmarks)"
 # Derive the package list instead of hardcoding it, so new bench files are
 # exercised automatically.
