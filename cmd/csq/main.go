@@ -72,7 +72,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   csq list
-  csq run [-reps N] [-seed S] [-quick] [-v] <fig2|fig3|...|fig9|fig10|fig11|chaos|failover|overload|shardscale|vecscale|all>...`)
+  csq run [-reps N] [-seed S] [-quick] [-v] <fig2|fig3|...|fig9|fig10|fig11|chaos|failover|coherence|overload|shardscale|vecscale|all>...`)
 }
 
 func list() {
@@ -80,7 +80,7 @@ func list() {
 	for n := range figures {
 		names = append(names, n)
 	}
-	names = append(names, "fig9", "chaos", "failover", "overload", "shardscale", "vecscale")
+	names = append(names, "fig9", "chaos", "failover", "coherence", "overload", "shardscale", "vecscale")
 	sort.Strings(names)
 	for _, n := range names {
 		switch n {
@@ -90,6 +90,8 @@ func list() {
 			fmt.Printf("  %-14s %s\n", n, "fault injection: response time and goodput vs site MTBF")
 		case "failover":
 			fmt.Printf("  %-14s %s\n", n, "replication: availability and goodput vs site MTBF, RF 1-3")
+		case "coherence":
+			fmt.Printf("  %-14s %s\n", n, "cache coherence: clients x write fraction x lease x MTBF, oracle-checked")
 		case "overload":
 			fmt.Printf("  %-14s %s\n", n, "serving layer: goodput and tail latency vs offered load, on/off")
 		case "shardscale":
@@ -115,7 +117,7 @@ func runCmd(args []string) {
 	reps := fs.Int("reps", 5, "repetitions per data point")
 	seed := fs.Int64("seed", 42, "random seed")
 	quick := fs.Bool("quick", false, "thin the parameter sweeps")
-	verbose := fs.Bool("v", false, "verbose: per-cell counters and degradation transitions (overload)")
+	verbose := fs.Bool("v", false, "verbose: per-cell counters (overload/failover) and per-stream attribution (coherence)")
 	fs.Parse(args)
 
 	targets := fs.Args()
@@ -124,11 +126,12 @@ func runCmd(args []string) {
 		os.Exit(2)
 	}
 	if len(targets) == 1 && targets[0] == "all" {
-		// The chaos, failover, overload, shardscale, and vecscale grids are
-		// not part of "all": the committed figure record (results_full.txt's
-		// default section) stays exactly the paper's fault-free reproduction.
-		// Run them explicitly with `csq run chaos` / `csq run failover` /
-		// `csq run overload` / `csq run shardscale` / `csq run vecscale`.
+		// The chaos, failover, coherence, overload, shardscale, and vecscale
+		// grids are not part of "all": the committed figure record
+		// (results_full.txt's default section) stays exactly the paper's
+		// fault-free reproduction. Run them explicitly with `csq run chaos` /
+		// `csq run failover` / `csq run coherence` / `csq run overload` /
+		// `csq run shardscale` / `csq run vecscale`.
 		targets = []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
 	}
 	cfg := experiments.Config{Reps: *reps, Seed: *seed, Quick: *quick}
@@ -161,15 +164,17 @@ func runCmd(args []string) {
 			continue
 		}
 		if strings.EqualFold(name, "failover") {
-			figs, err := cfg.Failover()
-			if err != nil {
+			if err := runFailover(cfg, *verbose, start); err != nil {
 				fmt.Fprintf(os.Stderr, "failover: %v\n", err)
 				os.Exit(1)
 			}
-			for _, fig := range figs {
-				fmt.Println(fig)
+			continue
+		}
+		if strings.EqualFold(name, "coherence") {
+			if err := runCoherence(cfg, *verbose, start); err != nil {
+				fmt.Fprintf(os.Stderr, "coherence: %v\n", err)
+				os.Exit(1)
 			}
-			fmt.Printf("  [%s]\n\n", time.Since(start).Round(time.Millisecond))
 			continue
 		}
 		if strings.EqualFold(name, "overload") {
@@ -219,6 +224,59 @@ func runCmd(args []string) {
 		fmt.Println(fig)
 		fmt.Printf("  [%s]\n\n", time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runFailover prints the replication grid: the availability and goodput
+// figures, and — with -v — the per-cell failure-handling counters: retries,
+// replica failovers (the retry loop re-bound to a surviving copy), and
+// backoff skips (a wait avoided because another copy was already up).
+func runFailover(cfg experiments.Config, verbose bool, start time.Time) error {
+	rep, err := cfg.Failover()
+	if err != nil {
+		return err
+	}
+	for _, fig := range rep.Figures {
+		fmt.Println(fig)
+	}
+	if verbose {
+		fmt.Println("Failover cells (summed over reps): retries, replica failovers, backoff skips")
+		for _, cl := range rep.Cells {
+			fmt.Printf("  mtbf=%-4g %-3s rf=%d retry=%-4d failover=%-4d skip=%d\n",
+				cl.MTBF, cl.Policy, cl.RF, cl.Retries, cl.ReplicaFailovers, cl.BackoffSkips)
+		}
+	}
+	fmt.Printf("  [%s]\n\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runCoherence prints the cache-coherence grid: per-cell served/write/
+// invalidation counters with the staleness oracle's verdict (stale must read
+// 0 everywhere; the driver has already asserted it), and — with -v — the
+// per-client-stream attribution separating callback traffic from queries.
+func runCoherence(cfg experiments.Config, verbose bool, start time.Time) error {
+	rep, err := cfg.Coherence()
+	if err != nil {
+		return err
+	}
+	for _, fig := range rep.Figures {
+		fmt.Println(fig)
+	}
+	fmt.Println("Coherence cells (summed over reps): completed/failed, updates committed/bounded,")
+	fmt.Println("invalidations, cache hit/miss pages, lease renewals, stale reads (oracle)")
+	for _, cl := range rep.Cells {
+		fmt.Printf("  c=%d wf=%-4g lease=%-3g mtbf=%-4g comp=%-4d fail=%-3d upd=%-3d/%-3d bexp=%-2d inv=%-3d hit=%-5d miss=%-4d renew=%-3d stale=%d\n",
+			cl.Clients, cl.WriteFrac, cl.Lease, cl.MTBF,
+			cl.Completed, cl.Failed, cl.UpdatesCommitted, cl.Updates, cl.UpdatesBounded,
+			cl.Invalidations, cl.CacheHitPages, cl.CacheMissPages, cl.LeaseRenewals, cl.StaleReads)
+		if verbose {
+			for s, st := range cl.Streams {
+				fmt.Printf("      stream %d: queries=%-3d updates=%-3d shed=%-2d cbmsgs=%-3d cbbytes=%d\n",
+					s, st.Queries, st.Updates, st.ShedDown, st.CallbackMsgs, st.CallbackBytes)
+			}
+		}
+	}
+	fmt.Printf("  [%s]\n\n", time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 // runOverload prints the serving-layer grid: the goodput and tail-latency

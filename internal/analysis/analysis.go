@@ -95,7 +95,7 @@ type Config struct {
 // DefaultConfig returns the hybridship configuration for a module rooted at
 // modulePath.
 func DefaultConfig(modulePath string) *Config {
-	det := []string{"opt", "exec", "sim", "experiments", "workload", "stats", "cost", "plan", "faults", "serve", "shard", "catalog"}
+	det := []string{"opt", "exec", "sim", "experiments", "workload", "stats", "cost", "plan", "faults", "serve", "shard", "catalog", "coherence"}
 	c := &Config{
 		SeedMixPkg:    modulePath + "/internal/seedmix",
 		SimPkg:        modulePath + "/internal/sim",
@@ -110,6 +110,7 @@ func DefaultConfig(modulePath string) *Config {
 			modulePath + "/internal/shard",
 			modulePath + "/internal/netsim",
 			modulePath + "/internal/disk",
+			modulePath + "/internal/coherence",
 		},
 		TimingExemptPrefixes: []string{
 			modulePath + "/cmd/",

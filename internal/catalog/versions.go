@@ -1,0 +1,64 @@
+package catalog
+
+import "fmt"
+
+// VersionMap tracks a monotonically increasing version number per page of
+// every relation in a catalog — the shadow state behind cache coherence
+// (DESIGN.md §15): the committed version of a page advances when an update
+// commits at the relation's home copy, and a cached copy of the page is
+// fresh exactly when its version matches. The map is pure bookkeeping: it
+// charges nothing and owns no simulation state, so the coherence layer can
+// consult it at any point of a run without perturbing the event schedule.
+//
+// Relations are addressed by their dense index in catalog registration order
+// (see Index), so every walk over the map is slice-ordered and deterministic.
+type VersionMap struct {
+	names []string
+	idx   map[string]int
+	pages [][]int64 // per relation, per page: committed version (starts at 0)
+}
+
+// NewVersionMap builds the all-zeroes version map of a catalog: every page of
+// every relation is at version 0, the state a freshly loaded database and all
+// caches of it agree on.
+func NewVersionMap(c *Catalog) *VersionMap {
+	v := &VersionMap{idx: make(map[string]int)}
+	for i, name := range c.Relations() {
+		r := c.MustRelation(name)
+		v.names = append(v.names, name)
+		v.idx[name] = i
+		v.pages = append(v.pages, make([]int64, r.Pages(c.PageSize)))
+	}
+	return v
+}
+
+// NumRelations returns how many relations the map covers.
+func (v *VersionMap) NumRelations() int { return len(v.names) }
+
+// Name returns the relation name at dense index ri.
+func (v *VersionMap) Name(ri int) string { return v.names[ri] }
+
+// Index returns the dense index of a relation (its catalog registration
+// position), panicking on an unknown name — version lookups happen on
+// validated catalogs only.
+func (v *VersionMap) Index(rel string) int {
+	ri, ok := v.idx[rel]
+	if !ok {
+		panic(fmt.Sprintf("catalog: version map has no relation %q", rel))
+	}
+	return ri
+}
+
+// Pages returns the number of pages tracked for relation ri.
+func (v *VersionMap) Pages(ri int) int { return len(v.pages[ri]) }
+
+// Get returns the committed version of page pg of relation ri.
+func (v *VersionMap) Get(ri, pg int) int64 { return v.pages[ri][pg] }
+
+// BumpRun advances the committed version of n contiguous pages starting at
+// pg0 — one committed update's worth of dirtied pages.
+func (v *VersionMap) BumpRun(ri, pg0, n int) {
+	for pg := pg0; pg < pg0+n; pg++ {
+		v.pages[ri][pg]++
+	}
+}

@@ -1,0 +1,354 @@
+package exec
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"hybridship/internal/coherence"
+	"hybridship/internal/faults"
+	"hybridship/internal/plan"
+	"hybridship/internal/sim"
+	"hybridship/internal/workload"
+)
+
+// cohConfig is chainConfig with a half-cached catalog and coherence enabled.
+func cohConfig(t testing.TB, n, servers, clients int, lease float64) Config {
+	t.Helper()
+	cfg := chainConfig(t, n, servers, workload.Moderate, true)
+	if err := workload.CacheAllFraction(cfg.Catalog, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Coherence = &coherence.Config{NumClients: clients, LeaseDuration: lease}
+	return cfg
+}
+
+// TestCoherenceIdentityFaultFree: a single-client, infinite-lease, zero-write
+// coherence engine must be bit-identical to the legacy shared-cache engine —
+// same response time, same traffic, same per-site disk counters.
+func TestCoherenceIdentityFaultFree(t *testing.T) {
+	for _, pol := range []plan.Policy{plan.QueryShipping, plan.DataShipping} {
+		legacyCfg := chainConfig(t, 4, 2, workload.Moderate, true)
+		if err := workload.CacheAllFraction(legacyCfg.Catalog, 0.5); err != nil {
+			t.Fatal(err)
+		}
+		legacy, err := Run(legacyCfg, annotate(leftDeepChain(4), pol))
+		if err != nil {
+			t.Fatal(err)
+		}
+		coh, err := Run(cohConfig(t, 4, 2, 1, 0), annotate(leftDeepChain(4), pol))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := coh.Coherence
+		if sum == nil {
+			t.Fatal("coherence run carries no summary")
+		}
+		if sum.Oracle.StaleReads != 0 {
+			t.Fatalf("oracle = %+v, want zero stale", sum.Oracle)
+		}
+		if pol == plan.DataShipping && sum.Oracle.CachedReads == 0 {
+			// Only client-bound scans touch the client cache; QS reads at
+			// the servers.
+			t.Fatal("data-shipping run recorded no cached reads")
+		}
+		if sum.PerClient[0].LeaseRenewals != 0 {
+			t.Fatalf("infinite leases took %d renewals", sum.PerClient[0].LeaseRenewals)
+		}
+		coh.Coherence = nil
+		if !reflect.DeepEqual(coh, legacy) {
+			t.Fatalf("policy %v: coherence run diverged from legacy:\n got %+v\nwant %+v", pol, coh, legacy)
+		}
+	}
+}
+
+// TestCoherenceIdentityUnderFaults extends the identity to a faulted run: a
+// server crash with recovery exercises the coherence crash/restart hooks
+// (table wipe, incarnation bump, zero-length grace), all of which must be
+// pure bookkeeping under infinite leases.
+func TestCoherenceIdentityUnderFaults(t *testing.T) {
+	script := []faults.Event{{At: 0.5, Kind: faults.SiteCrash, Site: 0, Duration: 2.0}}
+	legacyCfg := chainConfig(t, 2, 1, workload.Moderate, true)
+	if err := workload.CacheAllFraction(legacyCfg.Catalog, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	legacyCfg.Faults = &faults.Config{Seed: 3, Script: script}
+	legacy, err := Run(legacyCfg, annotate(leftDeepChain(2), plan.QueryShipping))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cohCfg := cohConfig(t, 2, 1, 1, 0)
+	cohCfg.Faults = &faults.Config{Seed: 3, Script: script}
+	coh, err := Run(cohCfg, annotate(leftDeepChain(2), plan.QueryShipping))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coh.Coherence.Oracle.StaleReads != 0 {
+		t.Fatalf("oracle saw %d stale reads", coh.Coherence.Oracle.StaleReads)
+	}
+	coh.Coherence = nil
+	if !reflect.DeepEqual(coh, legacy) {
+		t.Fatalf("faulted coherence run diverged from legacy:\n got %+v\nwant %+v", coh, legacy)
+	}
+}
+
+// newCohSession builds a session over cohConfig for driver-process tests.
+func newCohSession(t *testing.T, n, servers, clients int, lease float64, fc *faults.Config) *Session {
+	t.Helper()
+	cfg := cohConfig(t, n, servers, clients, lease)
+	cfg.Faults = fc
+	ses, err := NewSession(cfg, SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ses
+}
+
+// TestUpdateInvalidatesAndRefetch is the end-to-end protocol round trip:
+// client 0 reads (caching the prefix under a lease), client 1 updates two
+// prefix pages (callback invalidation to client 0), client 0 reads again
+// (refetches exactly the invalidated pages). The oracle must stay clean.
+func TestUpdateInvalidatesAndRefetch(t *testing.T) {
+	ses := newCohSession(t, 2, 1, 2, 100.0, nil)
+	root := annotate(leftDeepChain(2), plan.DataShipping)
+	binding, err := ses.Bind(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		q1, q2 QueryResult
+		up     UpdateResult
+		errs   []error
+	)
+	ses.Simulator().Spawn("driver", func(p *sim.Proc) {
+		var e1, e2, e3 error
+		q1, e1 = ses.Execute(p, 0, root, binding, QueryOpts{Client: 0})
+		up, e3 = ses.ExecuteUpdate(p, 1, workload.RelName(0), 0, 2)
+		q2, e2 = ses.Execute(p, 1, root, binding, QueryOpts{Client: 0})
+		errs = append(errs, e1, e3, e2)
+	})
+	ses.Run()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if want := workload.ExpectedResult(2, workload.Moderate); q1.ResultTuples != want || q2.ResultTuples != want {
+		t.Fatalf("tuples = %d / %d, want %d", q1.ResultTuples, q2.ResultTuples, want)
+	}
+	if !up.Committed || up.PagesDirtied != 2 {
+		t.Fatalf("update = %+v, want committed with 2 pages dirtied", up)
+	}
+	if up.Invalidations != 1 {
+		t.Fatalf("update shipped %d invalidations, want 1 (client 0 held the lease)", up.Invalidations)
+	}
+	if up.BoundExpired {
+		t.Fatal("update hit the lease bound although the callback was deliverable")
+	}
+	sum := ses.Coherence().Summary()
+	c0 := sum.PerClient[0]
+	if c0.InvalidationsIn != 1 || c0.PagesInvalidated != 2 {
+		t.Fatalf("client 0 callbacks = %+v, want 1 delivery invalidating 2 pages", c0)
+	}
+	if c0.CacheMissPages != 2 {
+		t.Fatalf("client 0 refetched %d pages, want exactly the 2 invalidated", c0.CacheMissPages)
+	}
+	if c0.LeaseRenewals == 0 {
+		t.Fatal("finite-lease reads took no renewal round trip")
+	}
+	if c0.CallbackMsgs != 2 { // invalidation + ack
+		t.Fatalf("client 0 callback messages = %d, want 2", c0.CallbackMsgs)
+	}
+	if sum.Writes.Committed != 1 || sum.Writes.InvalidationsDelivered != 1 {
+		t.Fatalf("write stats = %+v", sum.Writes)
+	}
+	if sum.Oracle.StaleReads != 0 || sum.Oracle.StaleCommittedReads != 0 {
+		t.Fatalf("oracle = %+v, want zero stale", sum.Oracle)
+	}
+	// The second query must have re-read the prefix: cache hits from both
+	// queries plus the two refetched pages.
+	if c0.CacheHitPages == 0 {
+		t.Fatal("no cache hits recorded")
+	}
+}
+
+// TestUpdateWaitsOutCrashedClientLease: a crashed leaseholder cannot ack its
+// callback, so the writer commits exactly at the lease bound — bounded
+// staleness instead of an unbounded stall.
+func TestUpdateWaitsOutCrashedClientLease(t *testing.T) {
+	fc := &faults.Config{
+		Seed:   7,
+		Script: []faults.Event{{At: 50, Kind: faults.ClientCrash, Site: 0}}, // permanent
+	}
+	ses := newCohSession(t, 2, 1, 2, 100.0, fc)
+	root := annotate(leftDeepChain(2), plan.DataShipping)
+	binding, err := ses.Bind(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		up   UpdateResult
+		errs []error
+	)
+	ses.Simulator().Spawn("driver", func(p *sim.Proc) {
+		// Client 0 reads first, renewing its lease (valid until read time
+		// + 100); then it crashes at t=50 and the update at t=60 finds its
+		// lease still fresh but its callback undeliverable.
+		_, e1 := ses.Execute(p, 0, root, binding, QueryOpts{Client: 0})
+		if dt := 60 - ses.Now(); dt > 0 {
+			p.Hold(dt)
+		}
+		var e2 error
+		up, e2 = ses.ExecuteUpdate(p, 1, workload.RelName(0), 0, 1)
+		errs = append(errs, e1, e2)
+	})
+	ses.Run()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !up.Committed {
+		t.Fatalf("update = %+v, want committed", up)
+	}
+	if !up.BoundExpired {
+		t.Fatal("update did not report committing at the lease bound")
+	}
+	if up.WaitTime <= 0 {
+		t.Fatalf("writer wait = %g, want > 0 (waiting out the lease)", up.WaitTime)
+	}
+	sum := ses.Coherence().Summary()
+	if sum.Writes.InvalidationsLost != 1 {
+		t.Fatalf("invalidations lost = %d, want 1", sum.Writes.InvalidationsLost)
+	}
+	if sum.Writes.BoundExpiredCommits != 1 {
+		t.Fatalf("bound-expired commits = %d, want 1", sum.Writes.BoundExpiredCommits)
+	}
+	if sum.Oracle.StaleReads != 0 {
+		t.Fatalf("oracle saw %d stale reads", sum.Oracle.StaleReads)
+	}
+}
+
+// TestClientCrashAbortsQueryAndDiscardsCache: a client crash aborts the
+// in-flight query with ErrClientDown; after recovery the new epoch has
+// discarded the cache, so the next query refetches the whole prefix.
+func TestClientCrashAbortsQueryAndDiscardsCache(t *testing.T) {
+	fc := &faults.Config{
+		Seed:   7,
+		Script: []faults.Event{{At: 0.2, Kind: faults.ClientCrash, Site: 0, Duration: 5.0}},
+	}
+	ses := newCohSession(t, 2, 1, 1, 50.0, fc)
+	root := annotate(leftDeepChain(2), plan.DataShipping)
+	binding, err := ses.Bind(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		firstErr  error
+		second    QueryResult
+		secondErr error
+	)
+	ses.Simulator().Spawn("driver", func(p *sim.Proc) {
+		_, firstErr = ses.Execute(p, 0, root, binding, QueryOpts{Client: 0})
+		if dt := 6.0 - ses.Now(); dt > 0 {
+			p.Hold(dt) // until after the client restarts
+		}
+		second, secondErr = ses.Execute(p, 1, root, binding, QueryOpts{Client: 0})
+	})
+	ses.Run()
+	if !errors.Is(firstErr, ErrClientDown) {
+		t.Fatalf("first query error = %v, want ErrClientDown", firstErr)
+	}
+	if secondErr != nil {
+		t.Fatal(secondErr)
+	}
+	if want := workload.ExpectedResult(2, workload.Moderate); second.ResultTuples != want {
+		t.Fatalf("post-recovery tuples = %d, want %d", second.ResultTuples, want)
+	}
+	st := ses.Coherence()
+	if st.Epoch(0) != 1 {
+		t.Fatalf("client epoch = %d, want 1 after one recovery", st.Epoch(0))
+	}
+	sum := st.Summary()
+	if sum.PerClient[0].CacheMissPages == 0 {
+		t.Fatal("recovered client refetched nothing: epoch discard did not happen")
+	}
+	if got := ses.FaultStats().ClientCrashes; got != 1 {
+		t.Fatalf("injector client crashes = %d, want 1", got)
+	}
+	if sum.Oracle.StaleReads != 0 {
+		t.Fatalf("oracle saw %d stale reads", sum.Oracle.StaleReads)
+	}
+}
+
+// TestUpdateRejections: updates are refused under infinite leases (a crashed
+// leaseholder could stall writers forever), on unknown relations, and out of
+// range.
+func TestUpdateRejections(t *testing.T) {
+	ses := newCohSession(t, 2, 1, 1, 0, nil)
+	ses.Simulator().Spawn("driver", func(p *sim.Proc) {
+		if _, err := ses.ExecuteUpdate(p, 0, workload.RelName(0), 0, 1); err == nil {
+			t.Error("update accepted under infinite leases")
+		}
+	})
+	ses.Run()
+
+	ses2 := newCohSession(t, 2, 1, 1, 1.0, nil)
+	ses2.Simulator().Spawn("driver", func(p *sim.Proc) {
+		if _, err := ses2.ExecuteUpdate(p, 0, "nosuchrel", 0, 1); err == nil {
+			t.Error("update accepted on unknown relation")
+		}
+		if _, err := ses2.ExecuteUpdate(p, 0, workload.RelName(0), -1, 1); err == nil {
+			t.Error("update accepted with negative page")
+		}
+		if _, err := ses2.ExecuteUpdate(p, 0, workload.RelName(0), 0, 1<<20); err == nil {
+			t.Error("update accepted past the relation end")
+		}
+	})
+	ses2.Run()
+}
+
+// TestCoherenceDeterministic: the full coherence scenario — finite leases,
+// interleaved reads and updates, a client crash and a server crash — is
+// bit-identical across repeated runs, summaries included.
+func TestCoherenceDeterministic(t *testing.T) {
+	scenario := func() (QueryResult, QueryResult, UpdateResult, *coherence.Summary) {
+		fc := &faults.Config{
+			Seed: 13,
+			Script: []faults.Event{
+				{At: 8, Kind: faults.ClientCrash, Site: 1, Duration: 4.0},
+				{At: 20, Kind: faults.SiteCrash, Site: 0, Duration: 3.0},
+			},
+		}
+		ses := newCohSession(t, 2, 2, 2, 5.0, fc)
+		root := annotate(leftDeepChain(2), plan.QueryShipping)
+		binding, err := ses.Bind(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var (
+			q1, q2 QueryResult
+			up     UpdateResult
+		)
+		ses.Simulator().Spawn("driver", func(p *sim.Proc) {
+			q1, _ = ses.Execute(p, 0, root, binding, QueryOpts{Client: 0})
+			up, _ = ses.ExecuteUpdate(p, 1, workload.RelName(0), 0, 1)
+			q2, _ = ses.Execute(p, 1, root, binding, QueryOpts{Client: 0})
+		})
+		ses.Run()
+		return q1, q2, up, ses.Coherence().Summary()
+	}
+	r1a, r2a, upa, suma := scenario()
+	for i := 0; i < 2; i++ {
+		r1b, r2b, upb, sumb := scenario()
+		if !reflect.DeepEqual(r1a, r1b) || !reflect.DeepEqual(r2a, r2b) || !reflect.DeepEqual(upa, upb) {
+			t.Fatalf("run %d query/update results diverged", i+1)
+		}
+		if !reflect.DeepEqual(suma, sumb) {
+			t.Fatalf("run %d summaries diverged:\n got %+v\nwant %+v", i+1, sumb, suma)
+		}
+	}
+	if suma.Oracle.StaleReads != 0 || suma.Oracle.StaleCommittedReads != 0 {
+		t.Fatalf("oracle = %+v, want zero stale", suma.Oracle)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"math/rand"
 
 	"hybridship/internal/catalog"
+	"hybridship/internal/coherence"
 	"hybridship/internal/disk"
 	"hybridship/internal/faults"
 	"hybridship/internal/netsim"
@@ -149,6 +150,14 @@ type Config struct {
 	// extra state on the hot path.
 	Faults *faults.Config
 
+	// Coherence, when non-nil, gives every client stream its own disk cache
+	// kept coherent by the lease/callback protocol of internal/coherence
+	// (DESIGN.md §15) and enables the update path. Nil keeps the legacy
+	// single shared client cache with no protocol state at all. A
+	// single-client configuration with infinite leases (LeaseDuration 0)
+	// and no updates is bit-identical to the legacy engine.
+	Coherence *coherence.Config
+
 	// Trace, when set, receives every kernel dispatch (virtual time plus the
 	// dispatched process name). Setting it also disables the simulator's
 	// in-place Hold fast path, forcing the reference park/dispatch protocol —
@@ -179,7 +188,13 @@ type Result struct {
 	AbortedWork      float64      // virtual seconds of attempts that were aborted
 	BackoffTime      float64      // virtual seconds spent waiting between attempts
 	ReplicaFailovers int64        // scans served by a replica other than the one the plan chose
+	BackoffSkips     int64        // backoff waits skipped because re-binding found a live plan
 	FaultStats       faults.Stats // what the injector actually did
+
+	// Coherence holds the cache-coherence counters (lease renewals,
+	// invalidations, write protocol, staleness oracle); nil unless
+	// Config.Coherence was set.
+	Coherence *coherence.Summary
 }
 
 // diskAddr locates one page on one of a site's disks.
@@ -279,6 +294,14 @@ type engine struct {
 	attempts []*attemptState // in-flight attempts, consulted by crash hooks
 	rb       rebindState     // reused per-attempt re-binding scratch (failover.go)
 
+	// Cache coherence; both nil when Config.Coherence is unset (the legacy
+	// shared-cache path). cohExt[rel][c] is client c's cache extent for the
+	// relation's cacheable prefix; cohExt[rel][0] is the extent the legacy
+	// layout places, so client 0's disk addresses match the legacy engine
+	// exactly (coherence.go).
+	coh    *coherence.State
+	cohExt map[string][]diskAddr
+
 	// Serving-layer hooks, set only through NewSession; nil on every other
 	// path so Run/RunBound/RunMulti behave exactly as before.
 	siteGate  SiteGate
@@ -347,6 +370,14 @@ func newEngine(cfg Config) (*engine, error) {
 	for i, r := range cfg.Query.Relations {
 		e.relIdx[r] = i
 	}
+	if cfg.Coherence != nil {
+		st, err := coherence.NewState(*cfg.Coherence, cfg.Catalog)
+		if err != nil {
+			return nil, err
+		}
+		e.coh = st
+		e.cohExt = make(map[string][]diskAddr)
+	}
 
 	newSite := func(id catalog.SiteID, name string) *site {
 		s := &site{
@@ -387,6 +418,20 @@ func newEngine(cfg Config) (*engine, error) {
 		}
 		if cp := cfg.Catalog.CachedPages(name); cp > 0 {
 			place(e.client, name, cp)
+			if e.coh != nil {
+				// Per-client cache extents: client 0 reuses the slot the
+				// legacy layout just placed, so a single-client run has a
+				// bit-identical disk layout; clients 1..C-1 get their own
+				// extents immediately after it.
+				ext := make([]diskAddr, e.coh.NumClients())
+				ext[0] = e.client.extents[name]
+				for c := 1; c < e.coh.NumClients(); c++ {
+					key := fmt.Sprintf("%s@%d", name, c)
+					place(e.client, key, cp)
+					ext[c] = e.client.extents[key]
+				}
+				e.cohExt[name] = ext
+			}
 		}
 	}
 	for _, s := range e.servers {
@@ -426,6 +471,11 @@ func newEngine(cfg Config) (*engine, error) {
 					// copies stay deprioritized until the warm-up elapses.
 					s.up = true
 					s.warmUntil = e.sim.Now() + e.ftl.warmup
+					if e.coh != nil {
+						// New incarnation: clients discard on next contact,
+						// writes hold for one lease duration (write grace).
+						e.coh.RestartServer(i, e.sim.Now())
+					}
 				},
 				Disks: dh,
 			}
@@ -433,6 +483,16 @@ func newEngine(cfg Config) (*engine, error) {
 		hooks.NetDown = func() { e.net.SetDown(true) }
 		hooks.NetUp = func() { e.net.SetDown(false) }
 		hooks.NetDegrade = func(f float64) { e.net.SetDegrade(f) }
+		if e.coh != nil {
+			hooks.Clients = make([]faults.ClientHooks, e.coh.NumClients())
+			for c := range hooks.Clients {
+				c := c
+				hooks.Clients[c] = faults.ClientHooks{
+					Crash:   func() { e.crashClient(c) },
+					Restart: func() { e.coh.RestartClient(c) },
+				}
+			}
+		}
 		e.inj = faults.New(e.sim, *cfg.Faults, hooks)
 	}
 	return e, nil

@@ -75,6 +75,7 @@ const (
 	reasonTeardown     = "attempt aborted"
 	reasonDeadline     = "query deadline exceeded"
 	reasonBreakerOpen  = "circuit breaker open for a dependency site"
+	reasonClientCrash  = "client workstation crashed"
 )
 
 // attemptState supervises one execution attempt of one query: the main
@@ -106,6 +107,12 @@ type attemptState struct {
 	fetchOn   bool
 	fetchSite int // source server of the outstanding fetch
 	fetchRole int // replica role of that source
+
+	// Coherence: the client stream this attempt reads through (0 without
+	// coherence) and how many stale cached pages the attempt read — folded
+	// into the oracle's committed-read counter only if the attempt commits.
+	client   int
+	cohStale int64
 }
 
 func (e *engine) newAttempt(p *sim.Proc, root *plan.Node, b plan.Binding) *attemptState {
@@ -276,6 +283,11 @@ func (e *engine) crashServer(i int) {
 	for _, d := range s.disks {
 		d.CrashRestart()
 	}
+	if e.coh != nil {
+		// Volatile lease/callback tables die with the site; in-flight
+		// writes abort and their parked writers wake to observe the crash.
+		e.coh.CrashServer(i)
+	}
 	for _, att := range e.attempts {
 		if bits := att.deps[i]; bits != 0 {
 			role := RolePrimary
@@ -441,6 +453,7 @@ type queryOutcome struct {
 	abortedWork      float64
 	backoffTime      float64
 	replicaFailovers int64
+	backoffSkips     int64
 }
 
 // deadlineState is the per-query deadline watchdog's shared state. The
@@ -570,6 +583,11 @@ func (e *engine) runQuery(p *sim.Proc, qi int, root *plan.Node, base plan.Bindin
 		if dl.expired(e.sim.Now()) {
 			return out, fmt.Errorf("exec: query %d: %w after %d attempts: %s", qi, ErrDeadlineExceeded, attempt, lastReason)
 		}
+		if e.coh != nil && !e.coh.ClientUp(qo.Client) {
+			// The issuing client workstation is down: there is no one left
+			// to deliver the answer to (or to retry for).
+			return out, fmt.Errorf("exec: query %d: %w", qi, ErrClientDown)
+		}
 		eff, runnable := e.rebind(root, base)
 		if runnable && e.siteGate != nil {
 			if s := e.gateDenied(root, eff); s >= 0 {
@@ -581,6 +599,7 @@ func (e *engine) runQuery(p *sim.Proc, qi int, root *plan.Node, base plan.Bindin
 			out.replicaFailovers += e.rb.failovers
 			start := e.sim.Now()
 			att := e.newAttempt(p, root, eff)
+			att.client = qo.Client
 			if dl != nil {
 				dl.att = att
 			}
@@ -591,6 +610,9 @@ func (e *engine) runQuery(p *sim.Proc, qi int, root *plan.Node, base plan.Bindin
 			p.ClearInterrupt() // defuse an abort that raced with completion
 			e.reportAttempt(att, completed)
 			if completed {
+				if e.coh != nil && att.cohStale > 0 {
+					e.coh.NoteCommittedReads(att.cohStale)
+				}
 				out.tuples = tuples
 				return out, nil
 			}
@@ -616,6 +638,7 @@ func (e *engine) runQuery(p *sim.Proc, qi int, root *plan.Node, base plan.Bindin
 		// always zero, so the legacy backoff sequence is bit-identical.
 		if runnable {
 			if _, ok := e.rebind(root, base); ok && e.rb.failovers > 0 {
+				out.backoffSkips++
 				continue
 			}
 		}

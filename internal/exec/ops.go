@@ -42,6 +42,13 @@ type scanOp struct {
 	window int         // pages already paid for (I/O and CPU) but not yet emitted
 	reply  *sim.Buffer // reusable page-fault reply channel
 	att    *attemptState
+
+	// Coherence wiring (zero when the engine has no coherence state): the
+	// owning client stream, the relation's dense coherence index, and the
+	// stream's private cache extent for the relation's prefix.
+	client   int
+	cohRI    int
+	cacheExt diskAddr
 }
 
 func (e *engine) newScan(n *plan.Node, at catalog.SiteID, att *attemptState) *scanOp {
@@ -69,6 +76,17 @@ func (e *engine) newScan(n *plan.Node, at catalog.SiteID, att *attemptState) *sc
 		s.src = e.site(fetchFrom)
 		if fetchFrom != r.Home {
 			s.srcRole = RoleSecondary
+		}
+		if e.coh != nil {
+			if att != nil {
+				s.client = att.client
+			}
+			if ri, ok := e.coh.RelIndex(rel); ok {
+				s.cohRI = ri
+			}
+			if ext, ok := e.cohExt[rel]; ok {
+				s.cacheExt = ext[s.client]
+			}
 		}
 	} else if !r.HasCopy(at) {
 		panic(fmt.Sprintf("exec: scan of %s bound to site %d, which holds no copy (home %d)", rel, at, r.Home))
@@ -110,44 +128,68 @@ func (s *scanOp) fill(p *sim.Proc) {
 		if rem := s.cachedPages - pg; n > rem {
 			n = rem
 		}
+		if s.e.coh != nil {
+			n = s.fillCoherent(p, pg, n)
+			break
+		}
 		s.atSite.chargeCPU(p, params, params.DiskInst*float64(n))
 		s.atSite.readRun(p, s.atSite.extents[s.rel].plus(pg), n)
 	default:
-		// Page fault: synchronous request/response with the fetch source
-		// (the home server, or the replica failover chose). The paper notes
-		// DS pays for the lack of overlap here (§4.2.3). Under fault
-		// injection the round trip is bounded by a watchdog: a server that
-		// died (or a partitioned link) just never answers, and only the
-		// timeout can tell that apart from queueing delay.
-		if s.reply == nil {
-			s.reply = sim.NewBuffer(s.e.sim, "fault-reply", 1)
-		}
-		if s.att != nil {
-			if !s.src.up {
-				s.att.failFromSite(p, reasonSiteDown, int(s.src.id), s.srcRole)
-			}
-			// A session's circuit breaker sheds the fetch before any network
-			// round trip when the source site's role is hard-open (another
-			// query's failures tripped it mid-attempt): a breaker-open shed
-			// is not a failure observation, so no site is attributed.
-			if g := s.e.siteGate; g != nil && g.Shed(int(s.src.id), s.srcRole) {
-				s.att.failFrom(p, reasonBreakerOpen)
-			}
-			s.att.beginFetch(int(s.src.id), s.srcRole)
-		}
-		s.atSite.chargeCPU(p, params, params.msgCPUInstr(ctrlMsgBytes))
-		s.e.net.Transmit(p, ctrlMsgBytes, false)
-		s.src.pager.fetchRun(p, s.src.extents[s.rel].plus(pg), n, s.reply)
-		s.atSite.chargeCPU(p, params, params.msgCPUInstr(n*params.PageSize))
-		if s.att != nil {
-			s.att.endFetch()
-			// A completed round trip is positive evidence the source is healthy.
-			if g := s.e.siteGate; g != nil {
-				g.ReportSuccess(int(s.src.id), s.srcRole)
-			}
-		}
+		s.faultRun(p, pg, n)
 	}
 	s.window = n
+}
+
+// faultRun pays one page-fault round trip for pages [pg, pg+n): synchronous
+// request/response with the fetch source (the home server, or the replica
+// failover chose). The paper notes DS pays for the lack of overlap here
+// (§4.2.3). Under fault injection the round trip is bounded by a watchdog: a
+// server that died (or a partitioned link) just never answers, and only the
+// timeout can tell that apart from queueing delay.
+func (s *scanOp) faultRun(p *sim.Proc, pg, n int) {
+	params := s.e.cfg.Params
+	var sendT float64
+	var seq int64
+	if c := s.e.coh; c != nil {
+		// Capture the contact initiation time (conservative lease stamp) and
+		// the relation's commit sequence (fetch-race guard) at request send.
+		sendT = s.e.sim.Now()
+		seq = c.CommitSeq(s.cohRI)
+	}
+	if s.reply == nil {
+		s.reply = sim.NewBuffer(s.e.sim, "fault-reply", 1)
+	}
+	if s.att != nil {
+		if !s.src.up {
+			s.att.failFromSite(p, reasonSiteDown, int(s.src.id), s.srcRole)
+		}
+		// A session's circuit breaker sheds the fetch before any network
+		// round trip when the source site's role is hard-open (another
+		// query's failures tripped it mid-attempt): a breaker-open shed
+		// is not a failure observation, so no site is attributed.
+		if g := s.e.siteGate; g != nil && g.Shed(int(s.src.id), s.srcRole) {
+			s.att.failFrom(p, reasonBreakerOpen)
+		}
+		s.att.beginFetch(int(s.src.id), s.srcRole)
+	}
+	s.atSite.chargeCPU(p, params, params.msgCPUInstr(ctrlMsgBytes))
+	s.e.net.Transmit(p, ctrlMsgBytes, false)
+	s.src.pager.fetchRun(p, s.src.extents[s.rel].plus(pg), n, s.reply)
+	s.atSite.chargeCPU(p, params, params.msgCPUInstr(n*params.PageSize))
+	if s.att != nil {
+		s.att.endFetch()
+		// A completed round trip is positive evidence the source is healthy.
+		if g := s.e.siteGate; g != nil {
+			g.ReportSuccess(int(s.src.id), s.srcRole)
+		}
+	}
+	if c := s.e.coh; c != nil {
+		// The round trip completed: it counts as a contact (syncs pending
+		// invalidations, renews the lease as of sendT) and the fetched pages
+		// may be cached if no commit raced the fetch.
+		c.SyncContact(s.client, int(s.src.id), sendT)
+		c.RegisterFetch(s.client, s.cohRI, pg, n, seq)
+	}
 }
 
 func (s *scanOp) next(p *sim.Proc) (page, bool) {
@@ -496,6 +538,15 @@ func newPageServer(e *engine, s *site) *pageServer {
 				// The server crashed with this request queued: it is simply
 				// lost. The requester's attempt has been aborted by the
 				// crash hook (or will be by its fetch watchdog).
+				continue
+			}
+			if r.pages == 0 {
+				// Lease renewal (coherence.go): a control-message round
+				// trip with no data payload.
+				ps.s.chargeCPU(p, params, params.msgCPUInstr(ctrlMsgBytes)) // receive request
+				ps.s.chargeCPU(p, params, params.msgCPUInstr(ctrlMsgBytes)) // send reply
+				e.net.Transmit(p, ctrlMsgBytes, false)
+				r.reply.Put(p, struct{}{})
 				continue
 			}
 			ps.s.chargeCPU(p, params, params.msgCPUInstr(ctrlMsgBytes)) // receive request

@@ -76,9 +76,13 @@ func RunBound(cfg Config, root *plan.Node, binding plan.Binding) (Result, error)
 		BackoffTime:  out.backoffTime,
 
 		ReplicaFailovers: out.replicaFailovers,
+		BackoffSkips:     out.backoffSkips,
 	}
 	if e.inj != nil {
 		res.FaultStats = e.inj.Stats()
+	}
+	if e.coh != nil {
+		res.Coherence = e.coh.Summary()
 	}
 	res.PagesSent = res.NetStats.DataPages
 	res.Messages = res.NetStats.Messages
@@ -181,6 +185,7 @@ type QueryResult struct {
 	AbortedWork      float64
 	BackoffTime      float64
 	ReplicaFailovers int64
+	BackoffSkips     int64
 }
 
 // multiQueryName is the static lazy-name formatter for RunMulti's per-query
@@ -228,12 +233,13 @@ func RunMulti(cfg Config, queries []QueryRun) (MultiResult, error) {
 				return
 			}
 			results[i] = QueryResult{
-				ResponseTime: e.sim.Now() - qr.Start,
-				ResultTuples: out.tuples,
+				ResponseTime:     e.sim.Now() - qr.Start,
+				ResultTuples:     out.tuples,
 				Retries:          out.retries,
 				AbortedWork:      out.abortedWork,
 				BackoffTime:      out.backoffTime,
 				ReplicaFailovers: out.replicaFailovers,
+				BackoffSkips:     out.backoffSkips,
 			}
 		})
 	}

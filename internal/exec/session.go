@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"hybridship/internal/catalog"
+	"hybridship/internal/coherence"
 	"hybridship/internal/disk"
 	"hybridship/internal/faults"
 	"hybridship/internal/netsim"
@@ -23,6 +24,7 @@ import (
 var (
 	ErrDeadlineExceeded     = errors.New("query deadline exceeded")
 	ErrRetryBudgetExhausted = errors.New("fleet retry budget exhausted")
+	ErrClientDown           = errors.New("client workstation is down")
 )
 
 // QueryOpts carries the per-query serving-layer options into the retry loop.
@@ -31,6 +33,12 @@ type QueryOpts struct {
 	// (its in-flight attempt is torn down and the wasted work accounted) and
 	// Execute returns ErrDeadlineExceeded. Zero means no deadline.
 	Deadline float64
+
+	// Client is the client cache stream the query reads through when the
+	// engine has coherence enabled (Config.Coherence); ignored otherwise.
+	// If the stream's workstation is down the query fails with
+	// ErrClientDown.
+	Client int
 }
 
 // Roles distinguish how an attempt depends on a site, so breakers can trip
@@ -163,14 +171,30 @@ func (s *Session) Execute(p *sim.Proc, qi int, root *plan.Node, binding plan.Bin
 	start := s.e.sim.Now()
 	out, err := s.e.runQuery(p, qi, root, binding, qo)
 	return QueryResult{
-		ResponseTime: s.e.sim.Now() - start,
-		ResultTuples: out.tuples,
+		ResponseTime:     s.e.sim.Now() - start,
+		ResultTuples:     out.tuples,
 		Retries:          out.retries,
 		AbortedWork:      out.abortedWork,
 		BackoffTime:      out.backoffTime,
 		ReplicaFailovers: out.replicaFailovers,
+		BackoffSkips:     out.backoffSkips,
 	}, err
 }
+
+// ExecuteUpdate runs one update — client writes pages [page0, page0+pages)
+// of rel at its home copy — through the coherence write protocol: submit to
+// the home server, wait out the post-restart write grace and the relation's
+// write slot, dirty the pages on disk, ship callback invalidations to every
+// fresh leaseholder, and commit once all have acknowledged or their leases
+// have expired. Requires Config.Coherence with a finite LeaseDuration.
+func (s *Session) ExecuteUpdate(p *sim.Proc, client int, rel string, page0, pages int) (UpdateResult, error) {
+	return s.e.runUpdate(p, client, rel, page0, pages)
+}
+
+// Coherence exposes the engine's coherence state (client liveness, staleness
+// oracle, summary counters) to the serving layer; nil unless Config.Coherence
+// was set.
+func (s *Session) Coherence() *coherence.State { return s.e.coh }
 
 // FaultStats reports what the session's injector actually did (zero when
 // fault injection is disabled).

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestCoherenceGridSelfChecks runs the quick coherence grid (the driver
+// itself asserts the staleness oracle and the legacy-identity column) and
+// checks the report's structure and the invariants the cells must satisfy.
+func TestCoherenceGridSelfChecks(t *testing.T) {
+	cfg := Config{Reps: 2, Seed: 17, Quick: true}
+	rep, err := cfg.Coherence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quick axes: 2 clients x (lease 0: wf 0 only; lease 0.5: wf {0, .25}),
+	// at 2 MTBF levels = 12 cells.
+	if len(rep.Cells) != 12 {
+		t.Fatalf("Cells = %d entries, want 12", len(rep.Cells))
+	}
+	if len(rep.Figures) != 2 {
+		t.Fatalf("Figures = %d, want one per MTBF level", len(rep.Figures))
+	}
+	var updates, invals, renewals, misses int64
+	for _, cl := range rep.Cells {
+		if cl.StaleReads != 0 {
+			t.Errorf("cell %+v: oracle reports stale reads", cl)
+		}
+		if cl.WriteFrac == 0 && cl.Updates != 0 {
+			t.Errorf("read-only cell dispatched updates: %+v", cl)
+		}
+		if cl.Lease == 0 && cl.LeaseRenewals != 0 {
+			t.Errorf("infinite-lease cell renewed leases: %+v", cl)
+		}
+		if len(cl.Streams) != cl.Clients {
+			t.Errorf("cell c=%d has %d stream entries", cl.Clients, len(cl.Streams))
+		}
+		updates += cl.Updates
+		invals += cl.Invalidations
+		renewals += cl.LeaseRenewals
+		misses += cl.CacheMissPages
+	}
+	if updates == 0 || invals == 0 || renewals == 0 || misses == 0 {
+		t.Errorf("grid never exercised the protocol: updates=%d invalidations=%d renewals=%d misses=%d",
+			updates, invals, renewals, misses)
+	}
+}
+
+// TestCoherenceIdenticalAcrossGOMAXPROCS extends the harness determinism
+// regression to the coherence grid: write mixes, lease schedules, callback
+// deliveries, and crash schedules are all seed-derived, so the full report
+// must be DeepEqual at any parallelism.
+func TestCoherenceIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	cfg := Config{Reps: 2, Seed: 17, Quick: true}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	runtime.GOMAXPROCS(1)
+	seq, err := cfg.Coherence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.GOMAXPROCS(8)
+	par, err := cfg.Coherence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("coherence report differs between GOMAXPROCS=1 and 8:\n--- sequential ---\n%+v\n--- parallel ---\n%+v", seq, par)
+	}
+}

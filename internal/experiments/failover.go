@@ -51,9 +51,28 @@ const seedReplicaPlace = 63
 // failoverRFs is the replication-factor axis of the grid.
 var failoverRFs = []int{1, 2, 3}
 
+// FailoverCell is one grid cell's failure-handling counters, summed over
+// repetitions, for the `csq run failover -v` table: how often the retry loop
+// actually re-bound to a surviving replica, and how often the replica-aware
+// backoff skipped a wait because another copy was up.
+type FailoverCell struct {
+	MTBF             float64
+	Policy           string
+	RF               int
+	Retries          int64
+	ReplicaFailovers int64
+	BackoffSkips     int64
+}
+
+// FailoverReport is everything `csq run failover` prints.
+type FailoverReport struct {
+	Figures []*Figure
+	Cells   []FailoverCell
+}
+
 // Failover runs the replication grid and returns the availability and
-// response-time figures.
-func (c Config) Failover() ([]*Figure, error) {
+// response-time figures plus the per-cell failover counters.
+func (c Config) Failover() (*FailoverReport, error) {
 	avFig := &Figure{
 		ID: "failover-avail", Title: "Availability, 2-Way Join; 50% Cached, Min Alloc, Site Crashes (MTTR 2s), RF 1-3",
 		XLabel: "MTBF[s]",
@@ -67,7 +86,10 @@ func (c Config) Failover() ([]*Figure, error) {
 	sweep := c.chaosSweep()
 	reps := c.reps()
 	nRF := len(failoverRFs)
-	type cell struct{ avail, goodput float64 }
+	type cell struct {
+		avail, goodput            float64
+		retries, failovers, skips int64
+	}
 	vals := make([]cell, len(allPolicies)*nRF*len(sweep)*reps)
 	err := parallelFor(len(vals), func(idx int) error {
 		pf, xi, rep := grid3(idx, len(sweep), reps)
@@ -105,12 +127,16 @@ func (c Config) Failover() ([]*Figure, error) {
 			avail = 100 * (res.ResponseTime - res.BackoffTime) / res.ResponseTime
 			goodput = 100 * (res.ResponseTime - res.AbortedWork - res.BackoffTime) / res.ResponseTime
 		}
-		vals[idx] = cell{avail: avail, goodput: goodput}
+		vals[idx] = cell{
+			avail: avail, goodput: goodput,
+			retries: res.Retries, failovers: res.ReplicaFailovers, skips: res.BackoffSkips,
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	report := &FailoverReport{}
 	means := make([]stats.Sample, len(allPolicies)*nRF*len(sweep))
 	for pi := range allPolicies {
 		for fi, rf := range failoverRFs {
@@ -118,11 +144,16 @@ func (c Config) Failover() ([]*Figure, error) {
 			gpSeries := Series{Name: avSeries.Name}
 			for xi, mtbf := range sweep {
 				var av, gp stats.Sample
+				agg := FailoverCell{MTBF: mtbf, Policy: policyNames[allPolicies[pi]], RF: rf}
 				for rep := 0; rep < reps; rep++ {
 					v := vals[((pi*nRF+fi)*len(sweep)+xi)*reps+rep]
 					av.Add(v.avail)
 					gp.Add(v.goodput)
+					agg.Retries += v.retries
+					agg.ReplicaFailovers += v.failovers
+					agg.BackoffSkips += v.skips
 				}
+				report.Cells = append(report.Cells, agg)
 				means[(pi*nRF+fi)*len(sweep)+xi] = av
 				avSeries.Points = append(avSeries.Points, Point{
 					X: mtbf, Mean: av.Mean(), CI: av.CI90(), N: av.N(),
@@ -135,6 +166,7 @@ func (c Config) Failover() ([]*Figure, error) {
 			gpFig.Series = append(gpFig.Series, gpSeries)
 		}
 	}
+	report.Figures = []*Figure{avFig, gpFig}
 	// The headline property, checked on every run: replication never costs
 	// availability. Paired seeds make the comparison exact, so no tolerance.
 	for pi := range allPolicies {
@@ -148,7 +180,7 @@ func (c Config) Failover() ([]*Figure, error) {
 			}
 		}
 	}
-	return []*Figure{avFig, gpFig}, nil
+	return report, nil
 }
 
 // failoverRun assembles one grid cell's run: the chaos configuration (same

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
 	"strings"
 	"testing"
@@ -18,13 +19,16 @@ func TestFailoverIdenticalAcrossGOMAXPROCS(t *testing.T) {
 	defer runtime.GOMAXPROCS(prev)
 
 	render := func() string {
-		figs, err := cfg.Failover()
+		rep, err := cfg.Failover()
 		if err != nil {
 			t.Fatal(err)
 		}
 		var out string
-		for _, f := range figs {
+		for _, f := range rep.Figures {
 			out += f.String() + "\n"
+		}
+		for _, cl := range rep.Cells {
+			out += fmt.Sprintf("%+v\n", cl)
 		}
 		return out
 	}
@@ -44,11 +48,11 @@ func TestFailoverIdenticalAcrossGOMAXPROCS(t *testing.T) {
 // availability is at least the RF=1 mean. Seed-paired runs make the
 // comparison exact, so no tolerance is applied.
 func TestFailoverReplicationDominates(t *testing.T) {
-	figs, err := Config{Reps: 3, Seed: 1, Quick: true}.Failover()
+	rep, err := Config{Reps: 3, Seed: 1, Quick: true}.Failover()
 	if err != nil {
 		t.Fatal(err)
 	}
-	av := figs[0]
+	av := rep.Figures[0]
 	series := map[string]*Series{}
 	for i := range av.Series {
 		series[av.Series[i].Name] = &av.Series[i]
@@ -84,5 +88,34 @@ func TestFailoverReplicationDominates(t *testing.T) {
 	}
 	if !improved {
 		t.Error("no replicated series improves availability at the shortest MTBF")
+	}
+}
+
+// TestFailoverCellsSurfaceCounters: the per-cell table must cover the whole
+// grid and actually surface the failure-handling counters — some replicated
+// cell re-binds to a replica, and some cell skips a backoff because another
+// copy was up. RF=1 cells can never fail over or skip.
+func TestFailoverCellsSurfaceCounters(t *testing.T) {
+	cfg := Config{Reps: 2, Seed: 17, Quick: true}
+	rep, err := cfg.Failover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * len(failoverRFs) * len(cfg.chaosSweep()); len(rep.Cells) != want {
+		t.Fatalf("Cells = %d entries, want %d", len(rep.Cells), want)
+	}
+	var failovers, skips int64
+	for _, cl := range rep.Cells {
+		if cl.RF == 1 && (cl.ReplicaFailovers != 0 || cl.BackoffSkips != 0) {
+			t.Errorf("unreplicated cell reports failovers: %+v", cl)
+		}
+		failovers += cl.ReplicaFailovers
+		skips += cl.BackoffSkips
+	}
+	if failovers == 0 {
+		t.Error("no cell recorded a replica failover under the crash sweep")
+	}
+	if skips == 0 {
+		t.Error("no cell recorded a backoff skip under the crash sweep")
 	}
 }

@@ -57,6 +57,16 @@ type Config struct {
 	DiskMTBF float64
 	DiskMTTR float64
 
+	// ClientMTBF/ClientMTTR: client workstation crash/restart cycles,
+	// independently per client stream of a coherent serve fleet. A crashed
+	// client loses its cache and lease state; on restart it comes back with a
+	// new cache epoch and must refetch everything (DESIGN.md §15). These
+	// streams only exist when the engine registers client hooks — with the
+	// coherence layer disabled there is nothing to crash and the class is
+	// inert even when the MTBF is set.
+	ClientMTBF float64
+	ClientMTTR float64
+
 	// FetchTimeout bounds one synchronous page-fault-shipping round trip; a
 	// fetch outstanding longer than this aborts the attempt (the requester
 	// cannot tell a dead server from a slow one). 0 defaults to 1s.
@@ -99,13 +109,17 @@ const (
 	NetDegrade
 	// DiskStall stalls disk Disk of server Site at At for Duration.
 	DiskStall
+	// ClientCrash crashes client workstation Site (the field doubles as the
+	// client index) at At and restarts it Duration later (Duration <= 0: the
+	// client stays down). Ignored when no client hooks are registered.
+	ClientCrash
 )
 
 // Event is one scripted fault.
 type Event struct {
 	At       float64 // virtual time the fault begins
 	Kind     EventKind
-	Site     int     // server index (SiteCrash, DiskStall)
+	Site     int     // server index (SiteCrash, DiskStall) or client index (ClientCrash)
 	Disk     int     // disk index within the site (DiskStall)
 	Duration float64 // time until recovery; <= 0 means never (SiteCrash only)
 	Factor   float64 // degrade multiplier (NetDegrade)
@@ -117,7 +131,7 @@ func (c *Config) Enabled() bool {
 		return false
 	}
 	return c.SiteMTBF > 0 || c.NetMTBF > 0 || c.DegradeMTBF > 0 ||
-		c.DiskMTBF > 0 || len(c.Script) > 0
+		c.DiskMTBF > 0 || c.ClientMTBF > 0 || len(c.Script) > 0
 }
 
 // Defaulted accessors (the raw fields stay comparable / zero-value friendly).
@@ -163,9 +177,17 @@ func (c *Config) degradeFactor() float64 {
 // hooks run on the injector's daemon processes at the fault's virtual time.
 type Hooks struct {
 	Sites      []SiteHooks
+	Clients    []ClientHooks
 	NetDown    func()
 	NetUp      func()
 	NetDegrade func(factor float64) // called with 1 to restore
+}
+
+// ClientHooks are one client workstation's fault callbacks (coherent serve
+// fleets only; legacy single-cache runs register none).
+type ClientHooks struct {
+	Crash   func()
+	Restart func()
 }
 
 // SiteHooks are one server site's fault callbacks.
@@ -186,14 +208,16 @@ type DiskHooks struct {
 // not included (the run is over; nobody observed the recovery). All fields
 // are plain values so Stats is reflect.DeepEqual-friendly inside Results.
 type Stats struct {
-	SiteCrashes   int64
-	SiteDownTime  float64
-	NetOutages    int64
-	NetDownTime   float64
-	NetDegrades   int64
-	DegradedTime  float64
-	DiskStalls    int64
-	DiskStallTime float64
+	SiteCrashes    int64
+	SiteDownTime   float64
+	NetOutages     int64
+	NetDownTime    float64
+	NetDegrades    int64
+	DegradedTime   float64
+	DiskStalls     int64
+	DiskStallTime  float64
+	ClientCrashes  int64
+	ClientDownTime float64
 }
 
 // Stream tags for seedmix.Derive: the per-class coordinate keeps every fault
@@ -203,6 +227,7 @@ const (
 	seedNet     int64 = 2
 	seedDegrade int64 = 3
 	seedDisk    int64 = 4
+	seedClient  int64 = 5
 )
 
 // Injector owns the fault state of one simulation. Create it with New after
@@ -213,14 +238,16 @@ type Injector struct {
 	hooks Hooks
 	stats Stats
 
-	siteDown   []bool
-	siteDownAt []float64
-	netDown    bool
-	netDownAt  float64
-	degraded   bool
-	degradedAt float64
-	diskDown   [][]bool
-	diskDownAt [][]float64
+	siteDown     []bool
+	siteDownAt   []float64
+	clientDown   []bool
+	clientDownAt []float64
+	netDown      bool
+	netDownAt    float64
+	degraded     bool
+	degradedAt   float64
+	diskDown     [][]bool
+	diskDownAt   [][]float64
 }
 
 // New builds the injector for a simulation and arms the kernel for process
@@ -237,6 +264,8 @@ func New(s *sim.Simulator, cfg Config, hooks Hooks) *Injector {
 		in.diskDown[i] = make([]bool, len(sh.Disks))
 		in.diskDownAt[i] = make([]float64, len(sh.Disks))
 	}
+	in.clientDown = make([]bool, len(hooks.Clients))
+	in.clientDownAt = make([]float64, len(hooks.Clients))
 	s.ArmInterrupts()
 
 	if cfg.SiteMTBF > 0 {
@@ -251,6 +280,12 @@ func New(s *sim.Simulator, cfg Config, hooks Hooks) *Injector {
 				in.spawnCycle(seedDisk, int64(i)*1000+int64(j), cfg.DiskMTBF, cfg.DiskMTTR,
 					func() { in.stallDisk(i, j) }, func() { in.resumeDisk(i, j) })
 			}
+		}
+	}
+	if cfg.ClientMTBF > 0 {
+		for i := range hooks.Clients {
+			in.spawnCycle(seedClient, int64(i), cfg.ClientMTBF, cfg.ClientMTTR,
+				func() { in.crashClient(i) }, func() { in.restartClient(i) })
 		}
 	}
 	if cfg.NetMTBF > 0 {
@@ -273,6 +308,9 @@ func (in *Injector) Stats() Stats { return in.stats }
 
 // SiteDown reports whether server site i is currently crashed.
 func (in *Injector) SiteDown(i int) bool { return in.siteDown[i] }
+
+// ClientDown reports whether client workstation i is currently crashed.
+func (in *Injector) ClientDown(i int) bool { return in.clientDown[i] }
 
 // spawnCycle runs an alternating up/down renewal process: hold ~Exp(mtbf),
 // fail, hold ~Exp(mttr), recover, repeat. A zero mttr recovers immediately
@@ -324,6 +362,13 @@ func (in *Injector) apply(ev Event) {
 		i, j := ev.Site, ev.Disk
 		in.stallDisk(i, j)
 		in.after(ev.Duration, func() { in.resumeDisk(i, j) })
+	case ClientCrash:
+		i := ev.Site
+		if i < 0 || i >= len(in.clientDown) {
+			return // no such client stream registered; scripted no-op
+		}
+		in.crashClient(i)
+		in.after(ev.Duration, func() { in.restartClient(i) })
 	default:
 		panic(fmt.Sprintf("faults: unknown scripted event kind %d", ev.Kind))
 	}
@@ -364,6 +409,29 @@ func (in *Injector) restartSite(i int) {
 	in.siteDown[i] = false
 	in.stats.SiteDownTime += in.sim.Now() - in.siteDownAt[i]
 	if h := in.hooks.Sites[i].Restart; h != nil {
+		h()
+	}
+}
+
+func (in *Injector) crashClient(i int) {
+	if in.clientDown[i] {
+		return
+	}
+	in.clientDown[i] = true
+	in.clientDownAt[i] = in.sim.Now()
+	in.stats.ClientCrashes++
+	if h := in.hooks.Clients[i].Crash; h != nil {
+		h()
+	}
+}
+
+func (in *Injector) restartClient(i int) {
+	if !in.clientDown[i] {
+		return
+	}
+	in.clientDown[i] = false
+	in.stats.ClientDownTime += in.sim.Now() - in.clientDownAt[i]
+	if h := in.hooks.Clients[i].Restart; h != nil {
 		h()
 	}
 }

@@ -5,9 +5,11 @@ import (
 	"strings"
 	"testing"
 
+	"hybridship/internal/coherence"
 	"hybridship/internal/exec"
 	"hybridship/internal/faults"
 	"hybridship/internal/plan"
+	"hybridship/internal/sim"
 	"hybridship/internal/workload"
 )
 
@@ -16,9 +18,10 @@ import (
 
 // decodeSchedule turns the fuzz input into a bounded scripted fault
 // schedule: 4 bytes per event (kind, target, start, duration). Site crashes
-// may be permanent (duration 0); network and disk faults always recover, as
-// a query blocked on a link or spindle that never returns has no bounded
-// outcome to check.
+// may be permanent (duration 0); network, disk, and client faults always
+// recover, as a query blocked on a link or spindle that never returns has no
+// bounded outcome to check (and a permanently dead client would leave its
+// remaining scripted ops with nothing to assert).
 func decodeSchedule(data []byte) []faults.Event {
 	var evs []faults.Event
 	for len(data) >= 4 && len(evs) < 16 {
@@ -26,7 +29,7 @@ func decodeSchedule(data []byte) []faults.Event {
 		data = data[4:]
 		at := float64(b2) * 0.05
 		dur := float64(b3) * 0.05
-		switch b0 % 4 {
+		switch b0 % 5 {
 		case 0:
 			evs = append(evs, faults.Event{At: at, Kind: faults.SiteCrash, Site: int(b1) % 2, Duration: dur})
 		case 1:
@@ -35,6 +38,8 @@ func decodeSchedule(data []byte) []faults.Event {
 			evs = append(evs, faults.Event{At: at, Kind: faults.NetDegrade, Duration: dur + 0.05, Factor: float64(2 + b1%6)})
 		case 3:
 			evs = append(evs, faults.Event{At: at, Kind: faults.DiskStall, Site: int(b1) % 2, Disk: 0, Duration: dur + 0.05})
+		case 4:
+			evs = append(evs, faults.Event{At: at, Kind: faults.ClientCrash, Site: int(b1) % 2, Duration: dur + 0.05})
 		}
 	}
 	return evs
@@ -53,12 +58,12 @@ func decodeSchedule(data []byte) []faults.Event {
 //     than the schedule holds, downtime only accrues for classes that
 //     fired, and downtime still open at the end of the run is excluded.
 func FuzzFaultSchedule(f *testing.F) {
-	f.Add([]byte{})                                  // fault-free
-	f.Add([]byte{0, 0, 10, 4})                       // early crash of the primary, recovers
-	f.Add([]byte{0, 0, 10, 0})                       // permanent primary crash: replica serves
-	f.Add([]byte{0, 0, 10, 0, 0, 1, 12, 0})          // both copies dead: query must fail loudly
-	f.Add([]byte{1, 0, 4, 40, 3, 1, 8, 20})          // long outage plus a disk stall
-	f.Add([]byte{2, 3, 0, 80, 0, 1, 30, 10})         // degraded link, late replica crash
+	f.Add([]byte{})                                      // fault-free
+	f.Add([]byte{0, 0, 10, 4})                           // early crash of the primary, recovers
+	f.Add([]byte{0, 0, 10, 0})                           // permanent primary crash: replica serves
+	f.Add([]byte{0, 0, 10, 0, 0, 1, 12, 0})              // both copies dead: query must fail loudly
+	f.Add([]byte{1, 0, 4, 40, 3, 1, 8, 20})              // long outage plus a disk stall
+	f.Add([]byte{2, 3, 0, 80, 0, 1, 30, 10})             // degraded link, late replica crash
 	f.Add([]byte{0, 0, 20, 2, 0, 0, 22, 2, 0, 0, 24, 2}) // overlapping crashes of one site
 
 	run := func(t *testing.T, script []faults.Event) (exec.Result, error) {
@@ -92,6 +97,80 @@ func FuzzFaultSchedule(f *testing.F) {
 			n.Ann = plan.AllowedAnnotations(n.Kind, plan.QueryShipping)[0]
 		})
 		return exec.Run(cfg, root)
+	}
+
+	// runCoherent executes a fixed interleaved read/update sequence through a
+	// coherence-enabled session (RF=1, 2 client streams, finite leases) under
+	// the same schedule, recording each op's outcome and the protocol's
+	// summary — including the staleness oracle's verdict.
+	type cohOutcome struct {
+		Ops     []string // per op: "ok" or the error string
+		Tuples  []int64  // completed queries' result cardinalities
+		Summary *coherence.Summary
+		Stats   faults.Stats
+	}
+	runCoherent := func(t *testing.T, script []faults.Event) cohOutcome {
+		cat, err := workload.BuildCatalog(4096, 2, workload.PlaceRoundRobin(2, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := workload.CacheAllFraction(cat, 0.5); err != nil {
+			t.Fatal(err)
+		}
+		params := exec.DefaultParams()
+		params.MaxAlloc = true
+		ses, err := exec.NewSession(exec.Config{
+			Params:  params,
+			Catalog: cat,
+			Query:   workload.ChainQuery(2, workload.Moderate),
+			Next:    workload.Next(workload.Moderate),
+			Seed:    1,
+			Faults: &faults.Config{
+				Seed:       5,
+				MaxRetries: 6,
+				Script:     script,
+			},
+			Coherence: &coherence.Config{NumClients: 2, LeaseDuration: 0.8},
+		}, exec.SessionOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := plan.NewDisplay(plan.NewJoin(plan.NewScan(workload.RelName(0)), plan.NewScan(workload.RelName(1))))
+		root.Walk(func(n *plan.Node) {
+			n.Ann = plan.AllowedAnnotations(n.Kind, plan.DataShipping)[0]
+		})
+		binding, err := ses.Bind(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out cohOutcome
+		note := func(err error) {
+			if err == nil {
+				out.Ops = append(out.Ops, "ok")
+			} else {
+				out.Ops = append(out.Ops, err.Error())
+			}
+		}
+		ses.Simulator().Spawn("fuzz:driver", func(p *sim.Proc) {
+			for i := 0; i < 6; i++ {
+				c := i % 2
+				if i == 2 || i == 4 {
+					_, err := ses.ExecuteUpdate(p, c, workload.RelName(i%2), i, 2)
+					note(err)
+				} else {
+					qr, err := ses.Execute(p, i, root, binding, exec.QueryOpts{Client: c})
+					note(err)
+					if err == nil {
+						out.Tuples = append(out.Tuples, qr.ResultTuples)
+					}
+				}
+				p.Hold(0.2)
+			}
+		})
+		ses.Run()
+		out.Summary = ses.Coherence().Summary()
+		out.Stats = ses.FaultStats()
+		return out
 	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -153,6 +232,39 @@ func FuzzFaultSchedule(f *testing.F) {
 			if c.n == 0 && c.time != 0 {
 				t.Fatalf("%s downtime %g accrued without a firing (schedule %v)", c.what, c.time, script)
 			}
+		}
+		// The legacy engine registers no client streams, so scripted client
+		// crashes must be exact no-ops there.
+		if st.ClientCrashes != 0 || st.ClientDownTime != 0 {
+			t.Fatalf("client crashes fired without client hooks: %+v (schedule %v)", st, script)
+		}
+
+		// The coherence-enabled scenario: same schedule against per-client
+		// caches with interleaved reads and updates. Every op terminates
+		// (ses.Run returning proves the simulation drained), completed reads
+		// carry the exact answer, the staleness oracle stays silent, and the
+		// whole outcome reproduces bit-identically.
+		coh := runCoherent(t, script)
+		for _, tuples := range coh.Tuples {
+			if want := workload.ExpectedResult(2, workload.Moderate); tuples != want {
+				t.Fatalf("coherent query completed with %d tuples, want %d (schedule %v)", tuples, want, script)
+			}
+		}
+		if o := coh.Summary.Oracle; o.StaleReads != 0 || o.StaleCommittedReads != 0 {
+			t.Fatalf("staleness oracle tripped: %+v (schedule %v)", o, script)
+		}
+		var clientScheduled int64
+		for _, ev := range script {
+			if ev.Kind == faults.ClientCrash {
+				clientScheduled++
+			}
+		}
+		if coh.Stats.ClientCrashes > clientScheduled {
+			t.Fatalf("more client crashes than scheduled: %d > %d (schedule %v)", coh.Stats.ClientCrashes, clientScheduled, script)
+		}
+		coh2 := runCoherent(t, script)
+		if !reflect.DeepEqual(coh, coh2) {
+			t.Fatalf("coherent rerun diverged:\n got %+v\nwant %+v (schedule %v)", coh2, coh, script)
 		}
 	})
 }

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"hybridship/internal/coherence"
+	"hybridship/internal/faults"
+	"hybridship/internal/plan"
+	"hybridship/internal/workload"
+)
+
+// cohServeConfig is testConfig with per-client coherent caches and a
+// deterministic write mix: 2 client streams, a finite lease, and both query
+// classes planned DataShipping so the cached prefix is actually read through
+// the client caches (QS scans are server-bound and never touch them).
+func cohServeConfig(t testing.TB, writeFrac float64) Config {
+	t.Helper()
+	cfg := testConfig(t)
+	cfg.Exec.Coherence = &coherence.Config{NumClients: 2, LeaseDuration: 2}
+	cfg.FreshPlans = []*plan.Node{
+		annotate(leftDeepChain(2), plan.DataShipping),
+		annotate(leftDeepChain(2), plan.DataShipping),
+	}
+	cfg.StaticPlan = annotate(leftDeepChain(2), plan.QueryShipping)
+	if writeFrac > 0 {
+		mix := workload.WriteMix(cfg.Exec.Catalog, cfg.Seed, writeFrac)
+		cfg.Updates = func(qi int) (string, int, int, bool) {
+			op, ok := mix(qi)
+			return op.Rel, op.Page0, op.Pages, ok
+		}
+	}
+	return cfg
+}
+
+// TestServeCoherenceWriteMix: a write-bearing run commits updates, ships
+// callback invalidations, attributes them per stream separately from query
+// counts, and the staleness oracle holds every stale counter at zero.
+func TestServeCoherenceWriteMix(t *testing.T) {
+	cfg := cohServeConfig(t, 0.3)
+	cfg.NumQueries = 40
+	cfg.ArrivalRate = 2
+	res := mustRun(t, cfg)
+
+	if res.Offered != res.RejectedRate+res.RejectedQueue+res.ShedClientDown+res.Admitted {
+		t.Errorf("admission identity violated: %+v", res)
+	}
+	if res.Admitted != res.Completed+res.Expired+res.Failed {
+		t.Errorf("outcome identity violated: %+v", res)
+	}
+	if res.Updates == 0 || res.UpdatesCommitted == 0 {
+		t.Fatalf("write mix dispatched %d updates, committed %d; want both > 0", res.Updates, res.UpdatesCommitted)
+	}
+	if res.Invalidations == 0 {
+		t.Error("no callback invalidations despite concurrent readers and writers")
+	}
+	if res.Coherence == nil {
+		t.Fatal("coherence summary missing")
+	}
+	if o := res.Coherence.Oracle; o.StaleReads != 0 || o.StaleCommittedReads != 0 {
+		t.Errorf("staleness oracle tripped: %+v", o)
+	}
+	if o := res.Coherence.Oracle; o.CachedReads == 0 {
+		t.Error("no cached reads; the client caches are not being exercised")
+	}
+
+	if len(res.Streams) != 2 {
+		t.Fatalf("Streams = %d entries, want 2", len(res.Streams))
+	}
+	var q, u, cb int64
+	for _, st := range res.Streams {
+		q += st.Queries
+		u += st.Updates
+		cb += st.CallbackMsgs
+	}
+	if q+u != res.Admitted {
+		t.Errorf("per-stream dispatch %d queries + %d updates != %d admitted", q, u, res.Admitted)
+	}
+	if u != res.Updates {
+		t.Errorf("per-stream updates %d != %d total", u, res.Updates)
+	}
+	if cb == 0 {
+		t.Error("invalidations shipped but no stream shows callback traffic")
+	}
+	for c, st := range res.Streams {
+		if st.CallbackMsgs > 0 && st.CallbackBytes == 0 {
+			t.Errorf("stream %d: callback messages without bytes: %+v", c, st)
+		}
+	}
+}
+
+// TestServeCoherenceCrashes: client crashes shed arrivals and fail in-flight
+// work with attributed counters, site crashes expire leases mid-outage, and
+// the oracle still proves no committed query read a stale page.
+func TestServeCoherenceCrashes(t *testing.T) {
+	run := func() Result {
+		cfg := cohServeConfig(t, 0.25)
+		cfg.NumQueries = 50
+		cfg.ArrivalRate = 2
+		cfg.Deadline = 15
+		cfg.Exec.Faults = &faults.Config{
+			Seed:     11,
+			SiteMTBF: 12, SiteMTTR: 3, // outages outlast the 2s lease: expiry during outage
+			ClientMTBF: 14, ClientMTTR: 4,
+			FetchTimeout: 0.5, BackoffBase: 0.1, BackoffMax: 1,
+		}
+		return mustRun(t, cfg)
+	}
+	res := run()
+	if res.ShedClientDown+res.FailedClientDown == 0 {
+		t.Error("client crashes never shed or failed anything")
+	}
+	if res.FailedClientDown > res.Failed {
+		t.Errorf("FailedClientDown %d exceeds Failed %d", res.FailedClientDown, res.Failed)
+	}
+	if res.Coherence == nil {
+		t.Fatal("coherence summary missing")
+	}
+	if o := res.Coherence.Oracle; o.StaleReads != 0 || o.StaleCommittedReads != 0 {
+		t.Errorf("staleness oracle tripped under crashes: %+v", o)
+	}
+	if res.Completed == 0 {
+		t.Error("nothing completed; scenario is all failure, asserting little")
+	}
+	if again := run(); !reflect.DeepEqual(res, again) {
+		t.Errorf("crash-heavy coherence run not reproducible:\n got %+v\nwant %+v", again, res)
+	}
+}
+
+// TestServeCoherenceDeterministicAcrossGOMAXPROCS: the full coherent Result —
+// streams, summary, oracle — is DeepEqual across parallelism settings.
+func TestServeCoherenceDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	run := func() Result {
+		cfg := cohServeConfig(t, 0.3)
+		cfg.NumQueries = 30
+		cfg.ArrivalRate = 3
+		cfg.Exec.Faults = &faults.Config{
+			Seed:       7,
+			ClientMTBF: 10, ClientMTTR: 3,
+			FetchTimeout: 0.5, BackoffBase: 0.1, BackoffMax: 1,
+		}
+		return mustRun(t, cfg)
+	}
+	prev := runtime.GOMAXPROCS(1)
+	one := run()
+	runtime.GOMAXPROCS(8)
+	eight := run()
+	runtime.GOMAXPROCS(prev)
+	if !reflect.DeepEqual(one, eight) {
+		t.Errorf("coherent serving run diverges across GOMAXPROCS:\n got %+v\nwant %+v", eight, one)
+	}
+}
+
+// TestServeUpdatesValidation: an update mix without coherence, or with an
+// infinite lease, is a config error — a writer could stall forever.
+func TestServeUpdatesValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		coh  *coherence.Config
+	}{
+		{"no coherence", nil},
+		{"infinite lease", &coherence.Config{NumClients: 2, LeaseDuration: 0}},
+	} {
+		cfg := testConfig(t)
+		cfg.Exec.Coherence = tc.coh
+		cfg.Updates = func(int) (string, int, int, bool) { return "R0", 0, 1, true }
+		if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "finite lease") {
+			t.Errorf("%s: err = %v, want finite-lease validation error", tc.name, err)
+		}
+	}
+}

@@ -7,23 +7,23 @@
 // system upright when offered load exceeds capacity? Five mechanisms,
 // composed in admission order:
 //
-//	arrival → token bucket → bounded queue → degradation level → worker
-//	         (rate limit)   (admission)     (fresh/cached/static plan)
-//	                                          ↓
-//	                            exec.Session (deadline, breakers, budget)
+//		arrival → token bucket → bounded queue → degradation level → worker
+//		         (rate limit)   (admission)     (fresh/cached/static plan)
+//		                                          ↓
+//		                            exec.Session (deadline, breakers, budget)
 //
-//   - Admission control: a token-bucket rate limiter in front of a bounded
-//     accept queue. Rejected queries are counted, not executed.
-//   - Deadline propagation: each admitted query carries a deadline drawn
-//     from its seedmix stream; exec aborts the in-flight attempt when it
-//     expires and the wasted work is accounted.
-//   - Per-site circuit breakers (breaker.go) wrap every fetch, so a crashed
-//     or stalled site sheds load instead of burning retries and timeouts.
-//   - A fleet-wide retry budget converts per-query exponential backoff into
-//     a system that cannot retry-storm itself during an outage.
-//   - Graceful degradation: under queue pressure new admissions downgrade
-//     from fresh optimization to a bounded plan cache, and past a second
-//     watermark to a cheap static plan, recovering by hysteresis.
+//	  - Admission control: a token-bucket rate limiter in front of a bounded
+//	    accept queue. Rejected queries are counted, not executed.
+//	  - Deadline propagation: each admitted query carries a deadline drawn
+//	    from its seedmix stream; exec aborts the in-flight attempt when it
+//	    expires and the wasted work is accounted.
+//	  - Per-site circuit breakers (breaker.go) wrap every fetch, so a crashed
+//	    or stalled site sheds load instead of burning retries and timeouts.
+//	  - A fleet-wide retry budget converts per-query exponential backoff into
+//	    a system that cannot retry-storm itself during an outage.
+//	  - Graceful degradation: under queue pressure new admissions downgrade
+//	    from fresh optimization to a bounded plan cache, and past a second
+//	    watermark to a cheap static plan, recovering by hysteresis.
 //
 // Everything runs on simulation processes — the kernel executes one process
 // at a time in deterministic order — so all serving state is plain fields
@@ -36,6 +36,7 @@ import (
 	"math"
 	"sort"
 
+	"hybridship/internal/coherence"
 	"hybridship/internal/exec"
 	"hybridship/internal/plan"
 	"hybridship/internal/seedmix"
@@ -110,6 +111,13 @@ type Config struct {
 	StaticPlan   *plan.Node
 	PlanCacheCap int // bounded plan-cache capacity (default: Classes)
 
+	// Updates makes the workload write-bearing: when it returns ok for an
+	// admitted slot qi, the worker dirties pages [page0, page0+pages) of rel
+	// through the coherence write protocol instead of executing the read
+	// query. Requires Exec.Coherence with a finite LeaseDuration;
+	// workload.WriteMix builds a deterministic one.
+	Updates func(qi int) (rel string, page0, pages int, ok bool)
+
 	// Disabled turns the serving layer off — every arrival is admitted
 	// immediately with unbounded concurrency, fresh optimization, no
 	// breakers and no retry budget — the collapse baseline of the overload
@@ -160,12 +168,49 @@ type Result struct {
 	BreakerOpens int64 // total breaker open transitions across sites
 
 	Transitions []Transition
+
+	// Coherence-enabled runs (Exec.Coherence set); all zero otherwise.
+	ShedClientDown   int64 // arrivals shed because their workstation was down
+	FailedClientDown int64 // admitted work aborted by a client crash (⊂ Failed)
+	Updates          int64 // admitted slots dispatched as writes
+	UpdatesCommitted int64
+	UpdatesBounded   int64   // committed at the lease bound with acks missing
+	Invalidations    int64   // callback invalidations shipped before commits
+	UpdateWaitTime   float64 // virtual time writers spent parked
+
+	// Streams attributes per-client-stream load, separating the coherence
+	// control traffic (callbacks, renewals) from the query traffic proper;
+	// nil when coherence is off. Coherence is the protocol's own roll-up,
+	// including the staleness oracle's verdict.
+	Streams   []StreamStats
+	Coherence *coherence.Summary
+}
+
+// StreamStats is one client stream's served load and coherence traffic. The
+// callback-invalidation messages a stream receives (and acks) are protocol
+// overhead charged to the shared network; reporting them per stream and
+// separately from the stream's query count keeps overload diagnostics honest
+// — a stream can be idle yet still generate callback traffic.
+type StreamStats struct {
+	Queries    int64 // read queries dispatched on this stream
+	Updates    int64 // writes dispatched on this stream
+	Completed  int64 // queries + updates that finished successfully
+	ShedDown   int64 // arrivals shed while the workstation was down
+	FailedDown int64 // admitted work aborted by a client crash
+
+	// From the coherence protocol state (coherence.ClientStats).
+	CacheHitPages  int64
+	CacheMissPages int64
+	LeaseRenewals  int64
+	CallbackMsgs   int64 // invalidations + acks on this stream, not query traffic
+	CallbackBytes  int64
 }
 
 // task is one admitted query riding the accept queue.
 type task struct {
 	id       int
 	class    int
+	client   int // client cache stream (id % NumClients; 0 without coherence)
 	arrival  float64
 	deadline float64 // absolute; 0 = none
 	level    int
@@ -267,6 +312,7 @@ type server struct {
 	staticB plan.Binding
 	res     Result
 	rts     []float64
+	streams []StreamStats // per client stream; nil without coherence
 }
 
 // Server is a constructed serving run whose simulation the caller drives: a
@@ -325,6 +371,9 @@ func Start(cfg Config) (*Server, error) {
 	}
 	s.adm = admission{rate: cfg.RateLimit, burst: float64(burst(cfg)), tokens: float64(burst(cfg))}
 	s.cache = planCache{cap: cacheCap(cfg)}
+	if c := cfg.Exec.Coherence; c != nil {
+		s.streams = make([]StreamStats, c.NumClients)
+	}
 
 	if cfg.Disabled {
 		s.spawnOpenLoop()
@@ -349,7 +398,7 @@ func (sv *Server) Completed() int64 { return sv.s.res.Completed }
 // true: the server's remaining work is zero.
 func (sv *Server) Done() bool {
 	r := &sv.s.res
-	return r.Completed+r.Expired+r.Failed+r.RejectedRate+r.RejectedQueue == int64(sv.s.cfg.NumQueries)
+	return r.Completed+r.Expired+r.Failed+r.RejectedRate+r.RejectedQueue+r.ShedClientDown == int64(sv.s.cfg.NumQueries)
 }
 
 // Finish derives the run's summary statistics and returns the Result. The
@@ -385,6 +434,11 @@ func validate(cfg *Config) error {
 	if cfg.DegradeHi > 0 {
 		if cfg.DegradeLo >= cfg.DegradeHi || cfg.StaticLo >= cfg.StaticHi || cfg.StaticHi < cfg.DegradeHi {
 			return fmt.Errorf("serve: watermarks need Lo < Hi and DegradeHi <= StaticHi")
+		}
+	}
+	if cfg.Updates != nil {
+		if c := cfg.Exec.Coherence; c == nil || c.LeaseDuration <= 0 {
+			return fmt.Errorf("serve: updates require coherence with a finite lease duration")
 		}
 	}
 	return nil
@@ -439,9 +493,13 @@ func (s *server) spawnOpenLoop() {
 			p.Hold(d)
 			now := s.sm.Now()
 			s.res.Offered++
+			client := s.clientFor(i)
+			if s.shedDown(client) {
+				continue
+			}
 			s.res.Admitted++
 			s.res.FreshServed++
-			t := task{id: i, class: i % s.cfg.Classes, arrival: now, deadline: s.deadlineAt(now, i), level: LevelFresh}
+			t := task{id: i, class: i % s.cfg.Classes, client: client, arrival: now, deadline: s.deadlineAt(now, i), level: LevelFresh}
 			s.sm.SpawnLazyID(queryName, int64(i), func(qp *sim.Proc) {
 				s.execute(qp, t)
 			})
@@ -470,10 +528,35 @@ func expInv(u float64) float64 {
 	return -math.Log(1 - u)
 }
 
+// clientFor assigns arrivals round-robin to the coherence client streams.
+func (s *server) clientFor(qi int) int {
+	if len(s.streams) == 0 {
+		return 0
+	}
+	return qi % len(s.streams)
+}
+
+// shedDown reports (and counts) an arrival whose workstation is down: a dead
+// client cannot even submit its query, so the shed happens before the
+// server-side rate limiter sees it and costs no token.
+func (s *server) shedDown(client int) bool {
+	coh := s.ses.Coherence()
+	if coh == nil || coh.ClientUp(client) {
+		return false
+	}
+	s.res.ShedClientDown++
+	s.streams[client].ShedDown++
+	return true
+}
+
 // arrive admits or sheds one arrival.
 func (s *server) arrive(p *sim.Proc, qi int) {
 	now := s.sm.Now()
 	s.res.Offered++
+	client := s.clientFor(qi)
+	if s.shedDown(client) {
+		return
+	}
 	depth := s.queue.Len()
 	switch s.adm.allow(now, depth, s.cfg.QueueCap) {
 	case admitShedRate:
@@ -494,7 +577,7 @@ func (s *server) arrive(p *sim.Proc, qi int) {
 		s.res.StaticServed++
 	}
 	s.queue.Put(p, task{
-		id: qi, class: qi % s.cfg.Classes, arrival: now,
+		id: qi, class: qi % s.cfg.Classes, client: client, arrival: now,
 		deadline: s.deadlineAt(now, qi), level: lvl,
 	})
 }
@@ -546,13 +629,23 @@ func (s *server) spawnWorkers() {
 	}
 }
 
-// execute plans (at the admitted degradation level) and runs one query.
+// execute plans (at the admitted degradation level) and runs one query — or
+// dispatches the slot as a write when the update mix claims it.
 func (s *server) execute(p *sim.Proc, t task) {
+	if s.cfg.Updates != nil {
+		if rel, pg0, n, ok := s.cfg.Updates(t.id); ok {
+			s.executeUpdate(p, t, rel, pg0, n)
+			return
+		}
+	}
+	if len(s.streams) > 0 {
+		s.streams[t.client].Queries++
+	}
 	root, binding := s.planFor(p, t)
 	if s.budget != nil {
 		s.budget.requests++
 	}
-	qr, err := s.ses.Execute(p, t.id, root, binding, exec.QueryOpts{Deadline: t.deadline})
+	qr, err := s.ses.Execute(p, t.id, root, binding, exec.QueryOpts{Deadline: t.deadline, Client: t.client})
 	s.res.Retries += qr.Retries
 	s.res.AbortedWork += qr.AbortedWork
 	s.res.BackoffTime += qr.BackoffTime
@@ -560,11 +653,44 @@ func (s *server) execute(p *sim.Proc, t task) {
 	case err == nil:
 		s.res.Completed++
 		s.rts = append(s.rts, s.sm.Now()-t.arrival)
+		if len(s.streams) > 0 {
+			s.streams[t.client].Completed++
+		}
 	case isDeadline(err):
 		s.res.Expired++
 	default:
 		s.res.Failed++
+		if errors.Is(err, exec.ErrClientDown) {
+			s.res.FailedClientDown++
+			s.streams[t.client].FailedDown++
+		}
 	}
+}
+
+// executeUpdate runs one write slot through the coherence protocol. Updates
+// skip planning (no optimizer work beyond the submission message) and have no
+// deadline: their wait is bounded by the lease duration instead.
+func (s *server) executeUpdate(p *sim.Proc, t task, rel string, pg0, n int) {
+	s.res.Updates++
+	s.streams[t.client].Updates++
+	ur, err := s.ses.ExecuteUpdate(p, t.client, rel, pg0, n)
+	s.res.UpdateWaitTime += ur.WaitTime
+	s.res.Invalidations += int64(ur.Invalidations)
+	if ur.BoundExpired {
+		s.res.UpdatesBounded++
+	}
+	if err != nil {
+		s.res.Failed++
+		if errors.Is(err, exec.ErrClientDown) {
+			s.res.FailedClientDown++
+			s.streams[t.client].FailedDown++
+		}
+		return
+	}
+	s.res.UpdatesCommitted++
+	s.res.Completed++
+	s.streams[t.client].Completed++
+	s.rts = append(s.rts, s.sm.Now()-t.arrival)
 }
 
 // planFor returns the plan the query runs, charging the client CPU for the
@@ -593,6 +719,19 @@ func (s *server) planFor(p *sim.Proc, t task) (*plan.Node, plan.Binding) {
 func (s *server) finish() {
 	if s.budget != nil {
 		s.res.RetriesGranted = s.budget.granted
+	}
+	if coh := s.ses.Coherence(); coh != nil {
+		sum := coh.Summary()
+		s.res.Coherence = sum
+		for c := range s.streams {
+			cs := sum.PerClient[c]
+			s.streams[c].CacheHitPages = cs.CacheHitPages
+			s.streams[c].CacheMissPages = cs.CacheMissPages
+			s.streams[c].LeaseRenewals = cs.LeaseRenewals
+			s.streams[c].CallbackMsgs = cs.CallbackMsgs
+			s.streams[c].CallbackBytes = cs.CallbackBytes
+		}
+		s.res.Streams = s.streams
 	}
 	if s.brk != nil {
 		for site := 0; site < s.ses.NumServers(); site++ {

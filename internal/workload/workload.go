@@ -16,6 +16,7 @@ import (
 
 	"hybridship/internal/catalog"
 	"hybridship/internal/query"
+	"hybridship/internal/seedmix"
 )
 
 // Selectivity selects the benchmark's join selectivity regime.
@@ -183,6 +184,56 @@ func TwoWayScaled(rho float64) (*query.Query, func(rel string, id int64) int64) 
 		return DefaultTuples + id // no partner
 	}
 	return q, next
+}
+
+// seedWriteMix is the seed-derivation tag of the write-mix generator; see
+// the tag registry in DESIGN.md (faults 1-5, engine 101-102, serve 201-204,
+// catalog 301, workload 401).
+const seedWriteMix = 401
+
+// UpdateOp is one update of the write-bearing workload class: the query
+// stream replaces query qi with an update dirtying Pages pages of Rel
+// starting at Page0, executed at the relation's home copy through the
+// coherence write protocol (exec.ExecuteUpdate).
+type UpdateOp struct {
+	Rel   string
+	Page0 int
+	Pages int
+}
+
+// WriteMix derives the write-bearing workload class from a read-only query
+// stream: for each query index qi it decides — deterministically from the
+// seed, independent of execution order — whether that slot is an update
+// (with probability frac) and which short page run of which relation it
+// dirties. Page runs are uniform over the whole relation, so with a
+// partially cached catalog an update invalidates client caches only when it
+// lands in the cacheable prefix, mirroring how real write traffic only
+// sometimes collides with what clients cache.
+func WriteMix(cat *catalog.Catalog, seed int64, frac float64) func(qi int) (UpdateOp, bool) {
+	rels := cat.Relations()
+	pages := make([]int, len(rels))
+	for i, name := range rels {
+		pages[i] = cat.MustRelation(name).Pages(cat.PageSize)
+	}
+	return func(qi int) (UpdateOp, bool) {
+		if frac <= 0 {
+			return UpdateOp{}, false
+		}
+		rng := rand.New(rand.NewSource(seedmix.Derive(seed, seedWriteMix, int64(qi))))
+		if rng.Float64() >= frac {
+			return UpdateOp{}, false
+		}
+		ri := rng.Intn(len(rels))
+		n := 1 + rng.Intn(4) // short runs: 1-4 pages per update
+		if n > pages[ri] {
+			n = pages[ri]
+		}
+		return UpdateOp{
+			Rel:   rels[ri],
+			Page0: rng.Intn(pages[ri] - n + 1),
+			Pages: n,
+		}, true
+	}
 }
 
 // StarQuery builds an n-way star join: a hub R0 joined with n-1 spokes,

@@ -167,3 +167,47 @@ func TestQuickPlacementValid(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestWriteMix(t *testing.T) {
+	cat, err := BuildCatalog(4096, 2, PlaceRoundRobin(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const N = 2000
+	mix := WriteMix(cat, 42, 0.3)
+	again := WriteMix(cat, 42, 0.3)
+	other := WriteMix(cat, 43, 0.3)
+	writes, differs := 0, false
+	for qi := 0; qi < N; qi++ {
+		op, ok := mix(qi)
+		op2, ok2 := again(qi)
+		if ok != ok2 || op != op2 {
+			t.Fatalf("qi %d: same seed diverged: %v/%v vs %v/%v", qi, op, ok, op2, ok2)
+		}
+		if op3, ok3 := other(qi); ok3 != ok || op3 != op {
+			differs = true
+		}
+		if !ok {
+			continue
+		}
+		writes++
+		r, rok := cat.Relation(op.Rel)
+		if !rok {
+			t.Fatalf("qi %d: unknown relation %q", qi, op.Rel)
+		}
+		pages := r.Pages(cat.PageSize)
+		if op.Pages < 1 || op.Pages > 4 || op.Page0 < 0 || op.Page0+op.Pages > pages {
+			t.Fatalf("qi %d: bad run [%d,%d) of %d pages", qi, op.Page0, op.Page0+op.Pages, pages)
+		}
+	}
+	if !differs {
+		t.Error("different seeds produced identical mixes")
+	}
+	// 0.3 of 2000 with independent draws: 600 expected, allow wide slack.
+	if writes < 450 || writes > 750 {
+		t.Errorf("write count %d implausible for frac 0.3 over %d queries", writes, N)
+	}
+	if _, ok := WriteMix(cat, 42, 0)(7); ok {
+		t.Error("frac 0 produced a write")
+	}
+}

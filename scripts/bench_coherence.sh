@@ -1,0 +1,26 @@
+#!/bin/sh
+# Snapshot the cache-coherence lease-path benchmarks into BENCH_faults.json
+# (the fault/robustness snapshot file — coherence is part of that tier).
+#
+# The suite brackets the lease table's hot path, which sits on every
+# client-cache page fetch:
+#
+#   - BenchmarkLeaseGrant / BenchmarkLeaseRenew / BenchmarkLeaseFresh: the
+#     per-page lease state machine — grant on first touch, renewal on
+#     re-fetch past the half-life, and the fresh-check a warm hit pays.
+#     All three must report 0 allocs/op: a cache hit may not allocate.
+#   - The faults-suite entries (HoldFastPath, Run10WayQS/Faults) ride along
+#     so the snapshot stays a single coherent file.
+#
+# Usage: scripts/bench_coherence.sh  (from the repo root; writes BENCH_faults.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+{
+	go test ./internal/coherence/ -run '^$' -bench 'Lease' -benchmem
+	go test ./internal/sim/ -run '^$' -bench 'HoldFastPath' -benchmem
+	go test ./internal/exec/ -run '^$' -bench 'Run10WayQS$|Faults' -benchmem -benchtime 3x
+} | go run ./cmd/benchsnap -o BENCH_faults.json
+
+echo "wrote BENCH_faults.json"

@@ -45,6 +45,8 @@ echo "== chaos smoke (short MTBF sweep end-to-end under the race detector)"
 go run -race ./cmd/csq run -quick -reps 2 chaos >/dev/null
 echo "== failover smoke (replication availability grid, RF 1-3, under the race detector)"
 go run -race ./cmd/csq run -quick -reps 2 failover >/dev/null
+echo "== coherence smoke (client-cache coherence grid, oracle- and identity-checked, under the race detector)"
+go run -race ./cmd/csq run -quick -reps 2 coherence >/dev/null
 echo "== overload smoke (serving-layer grid end-to-end under the race detector)"
 go run -race ./cmd/csq run -quick -reps 2 overload >/dev/null
 echo "== shardscale smoke (parallel kernel: fleet equality at 1/2/4/8 shards under the race detector)"
